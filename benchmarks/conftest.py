@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (table or figure), prints it
+(visible with ``pytest benchmarks/ --benchmark-only -s`` and captured into
+``bench_output.txt``), and asserts its headline qualitative claim so a
+regression in the reproduction fails the bench run.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,53 @@
+"""Bench: ablations of S2M3's design choices (DESIGN.md Sec. 5)."""
+
+
+from repro.experiments.ablations import (
+    render_ablations,
+    run_placement_ablation,
+    run_replication_ablation,
+    run_sharing_pressure,
+)
+
+
+def test_placement_strategy_ablation(benchmark, once, capsys):
+    rows = once(benchmark, run_placement_ablation, models=["clip-vit-b16"])
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(f"  {row.strategy:28s} objective={row.objective_seconds:.3f}s")
+    objectives = {row.strategy: row.objective_seconds for row in rows}
+    assert objectives["greedy (paper)"] <= min(objectives.values()) + 1e-9
+
+
+def test_replication_ablation(benchmark, once, capsys):
+    rows = once(benchmark, run_replication_ablation, concurrent_requests=4)
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(
+                f"  {row.label:12s} mean latency={row.mean_latency:.2f}s "
+                f"params={row.total_params / 1e6:.0f}M"
+            )
+    by_label = {row.label: row for row in rows}
+    assert by_label["replicated"].mean_latency <= by_label["single-copy"].mean_latency
+
+
+def test_sharing_pressure_ablation(benchmark, once, capsys):
+    rows = once(benchmark, run_sharing_pressure, burst_sizes=[1, 2, 4])
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(
+                f"  burst={row.burst_size}: shared {row.shared_mean_latency:.2f}s / "
+                f"{row.shared_params / 1e6:.0f}M vs unshared "
+                f"{row.unshared_mean_latency:.2f}s / {row.unshared_params / 1e6:.0f}M"
+            )
+    assert rows[-1].shared_mean_latency > rows[0].shared_mean_latency
+
+
+def test_full_ablation_report(benchmark, once, capsys):
+    report = once(benchmark, render_ablations)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "Ablation" in report

@@ -1,0 +1,20 @@
+"""Bench: footnote 4's LLM-head batch-scaling series (1/10/20)."""
+
+
+from repro.experiments.batching import render_batching, run_batching
+
+
+def test_batching(benchmark, once, capsys):
+    points = once(benchmark, run_batching, batch_sizes=[1, 5, 10, 20, 40])
+    with capsys.disabled():
+        print()
+        print(render_batching(points))
+
+    by_batch = {p.batch_size: p for p in points}
+    # Match the measured series within tolerance.
+    for batch, seconds in [(1, 1.28), (10, 4.90), (20, 9.16)]:
+        assert abs(by_batch[batch].seconds - seconds) / seconds < 0.15
+    # Near-linear scaling beyond a fixed setup cost: marginal per-item cost
+    # is well below the single-request cost.
+    marginal = (by_batch[20].seconds - by_batch[10].seconds) / 10
+    assert marginal < 0.5 * by_batch[1].seconds

@@ -1,0 +1,70 @@
+"""Bench: the extension studies (paper Secs. V-B, VI-C, VII made concrete)."""
+
+
+from repro.experiments.extensions import (
+    run_batched_burst_study,
+    run_churn_study,
+    run_energy_study,
+    run_fallbacks,
+    run_queue_aware_study,
+)
+
+
+def test_fallbacks(benchmark, once, capsys):
+    report = once(benchmark, run_fallbacks)
+    with capsys.disabled():
+        print(
+            f"\n[fallbacks] {report.module_name}: fp16 fits={report.fits_uncompressed}, "
+            f"int{report.compressed_bits} fits={report.compressed_fits}, "
+            f"pipeline {report.partition_stages} stages / {report.chain_seconds:.1f}s"
+        )
+    assert not report.fits_uncompressed
+    assert report.compressed_fits
+    assert report.partition_stages >= 2
+
+
+def test_adaptive_churn(benchmark, once, capsys):
+    outcomes = once(benchmark, run_churn_study)
+    with capsys.disabled():
+        print()
+        for event, decision in outcomes:
+            verdict = "MIGRATE" if decision.migrate else "stay"
+            print(f"  {event.description:30s} -> {verdict}")
+    decisions = [decision for _, decision in outcomes]
+    # The idle-device departure is absorbed; the load-bearing one is not.
+    assert not decisions[0].migrate
+    assert decisions[1].migrate
+
+
+def test_queue_aware_routing(benchmark, once, capsys):
+    rows = once(benchmark, run_queue_aware_study)
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(f"  {row.router:24s} mean={row.summary.mean:.2f}s p95={row.summary.p95:.2f}s")
+    by_label = {row.router: row.summary for row in rows}
+    assert by_label["queue-aware"].mean < by_label["fastest-host (Eq. 7)"].mean
+
+
+def test_batched_bursts(benchmark, once, capsys):
+    rows = once(benchmark, run_batched_burst_study)
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(f"  {row.mode:8s} mean={row.summary.mean:.2f}s")
+    by_mode = {row.mode: row.summary for row in rows}
+    assert by_mode["batched"].mean < by_mode["fifo"].mean
+
+
+def test_energy_aware_placement(benchmark, once, capsys):
+    rows = once(benchmark, run_energy_study)
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(
+                f"  {row.objective:28s} latency={row.latency_seconds:.2f}s "
+                f"energy={row.energy_joules:.0f}J"
+            )
+    greedy, efficient = rows
+    assert efficient.energy_joules < greedy.energy_joules
+    assert efficient.latency_seconds <= 1.5 * greedy.latency_seconds + 1e-9

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 3 (inference timeline, Jetson + Laptop)."""
+
+
+from repro.experiments.fig3 import PAPER_FIG3, render_fig3, run_fig3
+
+
+def test_fig3(benchmark, once, capsys):
+    result = once(benchmark, run_fig3)
+    with capsys.disabled():
+        print()
+        print(render_fig3(result))
+
+    # Parallel modality encoding: the two encoder spans overlap substantially.
+    assert result.encode_overlap_seconds > 1.0
+    # Transmission is "nearly invisible" next to compute.
+    assert result.transmission_seconds < 0.1 * result.total_seconds
+    # End-to-end latency lands near the paper's 2.47s.
+    assert abs(result.total_seconds - PAPER_FIG3["total"]) / PAPER_FIG3["total"] < 0.25

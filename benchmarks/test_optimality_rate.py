@@ -1,0 +1,18 @@
+"""Bench: the Sec. VI-A optimality-rate experiment (89/95 = 93.7%)."""
+
+
+from repro.experiments.optimality import run_optimality
+
+
+def test_optimality_rate(benchmark, once, capsys):
+    report = once(benchmark, run_optimality)
+    with capsys.disabled():
+        print()
+        print(report.render())
+
+    assert len(report.trials) == 95  # 19 combinations x 5 trials
+    # The paper reports 93.7%; we require the same band.
+    assert 0.87 <= report.rate <= 1.0
+    # And greedy is NEVER better than the enumerated optimum (sanity).
+    for trial in report.trials:
+        assert trial.greedy_objective >= trial.optimal_objective - 1e-9

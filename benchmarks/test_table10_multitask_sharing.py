@@ -1,0 +1,27 @@
+"""Bench: regenerate Table X (multi-task sharing: memory vs queueing)."""
+
+
+from repro.experiments.table10 import render_table10, run_table10
+
+
+def test_table10(benchmark, once, capsys):
+    rows = once(benchmark, run_table10)
+    with capsys.disabled():
+        print()
+        print(render_table10(rows).render())
+
+    # Sharing saves ~61.5% of parameters at four tasks (paper headline).
+    last = rows[-1]
+    saving = 1 - last.params_with_sharing / last.params_without_sharing
+    assert abs(saving - 0.615) < 0.02
+    # Incremental costs mirror the paper's "+1K / +85M / +52K" ledger.
+    deltas = [
+        rows[i].params_with_sharing - rows[i - 1].params_with_sharing
+        for i in range(1, len(rows))
+    ]
+    assert deltas[0] < 10_000          # encoder-VQA adds only its classifier
+    assert 80e6 < deltas[1] < 90e6     # alignment adds only the audio tower
+    assert deltas[2] < 100_000         # classification adds only the probe
+    # The trade-off: simultaneous-burst latency is higher with sharing once
+    # the task count grows (queueing on shared modules).
+    assert last.latency_with_sharing > last.latency_without_sharing

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table VI (split deployment cost + latency per architecture)."""
+
+
+from repro.experiments.table6 import render_table6, run_table6
+
+
+def test_table6(benchmark, once, capsys):
+    rows = once(benchmark, run_table6)
+    with capsys.disabled():
+        print()
+        print(render_table6(rows).render())
+
+    by_model = {row.model: row for row in rows}
+    # Headline: splitting halves CLIP RN50's worst per-device cost.
+    assert by_model["clip-rn50"].saving_percent > 49
+    # Models the Jetson cannot host become runnable under S2M3.
+    for name in ["clip-rn50x16", "clip-rn50x64", "clip-vit-l14", "imagebind"]:
+        assert by_model[name].local_seconds is None
+        assert by_model[name].s2m3_seconds is not None
+    # S2M3 tracks the cloud for the default model.
+    row = by_model["clip-vit-b16"]
+    assert abs(row.s2m3_seconds - row.cloud_seconds) / row.cloud_seconds < 0.35

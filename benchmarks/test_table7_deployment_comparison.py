@@ -1,0 +1,23 @@
+"""Bench: regenerate Table VII (per-device deployment comparison, ViT-B/16)."""
+
+
+from repro.experiments.table7 import render_table7, run_table7
+
+
+def test_table7(benchmark, once, capsys):
+    rows = once(benchmark, run_table7)
+    with capsys.disabled():
+        print()
+        print(render_table7(rows).render())
+
+    by_label = {row.deployment: row for row in rows}
+    # S2M3 on edge devices beats every centralized edge deployment...
+    for device in ["desktop", "laptop", "jetson-a"]:
+        assert by_label["s2m3"].inference_seconds < by_label[device].inference_seconds
+    # ...and sits within a whisker of the GPU cloud.
+    cloud = by_label["server"].inference_seconds
+    assert abs(by_label["s2m3"].inference_seconds - cloud) / cloud < 0.35
+    # Parallel routing is the mechanism (w/o it, latency regresses).
+    assert by_label["s2m3"].inference_seconds < by_label["s2m3-no-parallel"].inference_seconds
+    # End-to-end: the cloud pays its slow model load (paper 13.53s).
+    assert by_label["server"].end_to_end_seconds > 10

@@ -1,0 +1,26 @@
+"""Bench: regenerate Table IX (device-availability ablation)."""
+
+
+from repro.experiments.table9 import render_table9, run_table9
+
+
+def test_table9(benchmark, once, capsys):
+    rows = once(benchmark, run_table9)
+    with capsys.disabled():
+        print()
+        print(render_table9(rows).render())
+
+    by_label = {row.label: row for row in rows}
+    # Two Jetsons alone remain slow (paper 42.70s).
+    assert by_label["s2m3 two jetsons"].latency_seconds > 30
+    # Desktop+laptop recover cloud-class latency.
+    assert by_label["s2m3 D+L"].latency_seconds < 3
+    # Adding Jetson B changes nothing (it hosts nothing useful).
+    assert abs(
+        by_label["s2m3 D+L+J-B"].latency_seconds - by_label["s2m3 D+L"].latency_seconds
+    ) < 0.3
+    # The crossover: pooling the server, S2M3 BEATS centralized cloud.
+    assert (
+        by_label["s2m3 +server"].latency_seconds
+        < by_label["centralized server"].latency_seconds
+    )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Multi-task smart-home assistant: the paper's Table X scenario.
+
+A home hub must serve four AI tasks at once — photo search (image-text
+retrieval), visual question answering, audio-visual event alignment, and
+food recognition.  Deploying a dedicated model per task wastes memory; S2M3
+shares the common encoders and pays only for each task's unique modules.
+
+Run:  python examples/smart_home_assistant.py
+"""
+
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.core.sharing import build_sharing_plan
+from repro.profiles.devices import edge_device_names
+
+TASKS = [
+    ("photo search", "clip-vit-b16"),
+    ("visual QA", "encoder-vqa-small"),
+    ("AV event alignment", "alignment-vitb16"),
+    ("food recognition", "image-classification-vitb16"),
+]
+
+
+def main() -> None:
+    models = [model for _, model in TASKS]
+
+    # --- The sharing ledger (paper Sec. IV-B / Table X) ------------------
+    plan = build_sharing_plan(models)
+    print("incremental deployment ledger (with sharing):")
+    for (task, _), step in zip(TASKS, plan.steps):
+        new = ", ".join(m.name for m in step.new_modules) or "(nothing new)"
+        reused = ", ".join(m.name for m in step.reused_modules) or "-"
+        print(f"  + {task:20s} adds {step.added_params / 1e6:7.2f}M  new: {new}")
+        print(f"    {'':20s} reuses: {reused}")
+    print(
+        f"\ntotal: {plan.shared_params / 1e6:.0f}M shared vs "
+        f"{plan.unshared_params / 1e6:.0f}M dedicated "
+        f"(-{100 * plan.saving_fraction:.1f}%)\n"
+    )
+
+    # --- Deploy and fire all four tasks simultaneously -------------------
+    for share in (False, True):
+        cluster = build_testbed(edge_device_names(), requester="jetson-a")
+        engine = S2M3Engine(cluster, models, share=share)
+        report = engine.deploy()
+        result = engine.serve_models(models)
+        mode = "shared " if share else "dedicated"
+        print(f"[{mode}] deployed {report.total_params / 1e6:6.0f}M params; "
+              f"burst latencies:")
+        for (task, _), outcome in zip(TASKS, result.outcomes):
+            print(f"    {task:20s} {outcome.latency:.2f}s")
+
+    print(
+        "\nsharing trades a little queueing on hot modules for a ~62% memory"
+        " saving — the Table X trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

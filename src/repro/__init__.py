@@ -1,0 +1,13 @@
+"""repro — a full reproduction of S2M3 (ICDCS 2025).
+
+S2M3 splits multi-modal models into functional modules, shares common
+modules across tasks, and places/routes them over resource-constrained edge
+devices (Yoon et al., "S2M3: Split-and-Share Multi-Modal Models for
+Distributed Multi-Task Inference on the Edge", arXiv:2508.04271).
+
+Start with :class:`repro.core.engine.S2M3Engine` and
+:func:`repro.cluster.topology.build_testbed`; see README.md for a tour and
+``python -m repro`` for the experiment runner.
+"""
+
+__version__ = "1.0.0"

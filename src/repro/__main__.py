@@ -1,0 +1,118 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates any paper artifact from the terminal:
+
+    python -m repro table6      # deployment cost & latency per architecture
+    python -m repro table10     # multi-task sharing ledger
+    python -m repro fig3        # inference timeline
+    python -m repro all         # everything (slow: includes accuracy runs)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _table6() -> str:
+    from repro.experiments.table6 import render_table6
+
+    return render_table6().render()
+
+
+def _table7() -> str:
+    from repro.experiments.table7 import render_table7
+
+    return render_table7().render()
+
+
+def _table8() -> str:
+    from repro.experiments.table8 import render_table8
+
+    return render_table8(samples=100).render()
+
+
+def _table9() -> str:
+    from repro.experiments.table9 import render_table9
+
+    return render_table9().render()
+
+
+def _table10() -> str:
+    from repro.experiments.table10 import render_table10
+
+    return render_table10().render()
+
+
+def _table11() -> str:
+    from repro.experiments.table11 import render_table11
+
+    return render_table11().render()
+
+
+def _fig3() -> str:
+    from repro.experiments.fig3 import render_fig3
+
+    return render_fig3()
+
+
+def _optimality() -> str:
+    from repro.experiments.optimality import run_optimality
+
+    return run_optimality().render()
+
+
+def _batching() -> str:
+    from repro.experiments.batching import render_batching
+
+    return render_batching()
+
+
+def _ablations() -> str:
+    from repro.experiments.ablations import render_ablations
+
+    return render_ablations()
+
+
+def _extensions() -> str:
+    from repro.experiments.extensions import render_extensions
+
+    return render_extensions()
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table6": _table6,
+    "table7": _table7,
+    "table8": _table8,
+    "table9": _table9,
+    "table10": _table10,
+    "table11": _table11,
+    "fig3": _fig3,
+    "optimality": _optimality,
+    "batching": _batching,
+    "ablations": _ablations,
+    "extensions": _extensions,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate S2M3 paper artifacts (tables, figures, stats).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate ('all' runs everything)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

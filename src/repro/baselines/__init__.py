@@ -1,0 +1,40 @@
+"""Baselines the paper compares against (Sec. VI, Tables VI, VII, XI).
+
+- :mod:`repro.baselines.centralized` — whole model on one device
+  ("Centralized Cloud" = the GPU server across the MAN, "Centralized
+  Local" = the requesting Jetson).
+- :mod:`repro.baselines.parallelism` — the tensor-parallel cost model
+  shared by the Megatron-LM / Optimus / DistMM estimates (the paper itself
+  *estimates* the latter two per its footnote 3, since neither is open
+  source).
+- :mod:`repro.baselines.megatron` — model parallelism applied to each
+  functional module, executed sequentially (no cross-encoder parallelism).
+- :mod:`repro.baselines.optimus` — ideal pipeline-parallel estimate (VQA only).
+- :mod:`repro.baselines.distmm` — per-modality-tower parallel estimate
+  (image-text retrieval only).
+- :mod:`repro.baselines.nosharing` — S2M3's split architecture with
+  per-task dedicated modules (the Table X "w/o Sharing" arm).
+"""
+
+from repro.baselines.centralized import CentralizedResult, centralized_inference
+from repro.baselines.distmm import distmm_latency
+from repro.baselines.megatron import (
+    megatron_latency,
+    megatron_multitask_latency,
+    megatron_params,
+)
+from repro.baselines.nosharing import no_sharing_engine
+from repro.baselines.optimus import optimus_latency
+from repro.baselines.parallelism import TensorParallelModel
+
+__all__ = [
+    "CentralizedResult",
+    "centralized_inference",
+    "distmm_latency",
+    "megatron_latency",
+    "megatron_multitask_latency",
+    "megatron_params",
+    "no_sharing_engine",
+    "optimus_latency",
+    "TensorParallelModel",
+]

@@ -1,0 +1,91 @@
+"""Centralized inference: the whole model on a single device.
+
+This is the paper's "Centralized" baseline family: Cloud (the GPU server,
+reached over the MAN), Local (the requesting Jetson), or any single device
+(the per-device rows of Table VII).  A monolith executes its modules
+sequentially — the paper stresses that a single device "cannot benefit from
+parallel processing (unless installing more processors)" — so latency is
+input transmission (all modalities) + the sum of module compute times.
+
+A device that cannot hold ``sum(r_m)`` yields ``feasible=False`` — these are
+the "–" cells of Table VI for the 4 GB Jetson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.network import Network
+from repro.core.catalog import get_model
+from repro.core.models import ModelSpec
+from repro.core.splitter import split_model
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import DeviceProfile, get_device_profile
+
+
+@dataclass(frozen=True)
+class CentralizedResult:
+    """Latency/memory outcome of hosting the monolith on one device."""
+
+    model: ModelSpec
+    device: str
+    feasible: bool
+    input_comm_seconds: float
+    compute_seconds: float
+    load_seconds: float
+    total_params: int
+
+    @property
+    def inference_seconds(self) -> Optional[float]:
+        """Inference latency (transmission + sequential compute); None if infeasible."""
+        if not self.feasible:
+            return None
+        return self.input_comm_seconds + self.compute_seconds
+
+    @property
+    def end_to_end_seconds(self) -> Optional[float]:
+        """Inference plus model loading (the Table VII end-to-end column)."""
+        if not self.feasible:
+            return None
+        return self.inference_seconds + self.load_seconds
+
+
+def centralized_inference(
+    model: "ModelSpec | str",
+    device: "DeviceProfile | str",
+    source: str,
+    network: Optional[Network] = None,
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
+) -> CentralizedResult:
+    """Price a single request served entirely on ``device``.
+
+    ``source`` is the requester holding the input data; input payloads for
+    every modality are shipped to the device (serially over the requester's
+    uplink), and nothing else moves.
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    profile = get_device_profile(device) if isinstance(device, str) else device
+    net = network if network is not None else Network()
+    split = split_model(spec)
+
+    total_bytes = sum(module.memory_bytes for module in split.modules)
+    feasible = total_bytes <= profile.memory_bytes
+
+    input_comm = sum(
+        net.transfer_seconds(source, profile.name, spec.payload_bytes(encoder.modality or "image"))
+        for encoder in split.encoders
+    )
+    compute = sum(
+        compute_model.seconds(module, profile, model=spec) for module in split.modules
+    )
+    load = sum(compute_model.load_seconds(module, profile) for module in split.modules)
+    return CentralizedResult(
+        model=spec,
+        device=profile.name,
+        feasible=feasible,
+        input_comm_seconds=input_comm,
+        compute_seconds=compute,
+        load_seconds=load,
+        total_params=split.total_params,
+    )

@@ -1,0 +1,50 @@
+"""DistMM baseline estimate (image-text retrieval only) — paper footnote 3.
+
+DistMM (NSDI'24) parallelizes multi-modal *training* by partitioning each
+modality tower across devices; modality towers run concurrently.  Following
+the paper's estimation procedure, each tower gets the tensor-parallel cost
+model over its share of the device group, towers overlap (max), and the
+head follows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.parallelism import TensorParallelModel
+from repro.cluster.network import Network
+from repro.core.catalog import get_model
+from repro.core.splitter import split_model
+from repro.core.tasks import Task
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import get_device_profile
+from repro.utils.errors import ConfigurationError
+
+
+def distmm_latency(
+    model: str,
+    device_names: Sequence[str],
+    source: str,
+    network: Optional[Network] = None,
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
+) -> float:
+    """Per-modality-parallel latency estimate; retrieval models only."""
+    spec = get_model(model)
+    if spec.task is not Task.IMAGE_TEXT_RETRIEVAL:
+        raise ConfigurationError("DistMM only considers image-text retrieval (paper Table XI)")
+    devices = [get_device_profile(name) for name in device_names]
+    net = network if network is not None else Network()
+    tp = TensorParallelModel(devices=devices, network=net, compute_model=compute_model)
+    split = split_model(spec)
+
+    # Each modality tower is partitioned over the device group; towers overlap.
+    tower_times = []
+    for encoder in split.encoders:
+        input_comm = net.transfer_seconds(
+            source,
+            next((d.name for d in devices if d.name != source), source),
+            spec.payload_bytes(encoder.modality or "image"),
+        )
+        tower_times.append(input_comm + tp.module_seconds(encoder, model=spec))
+    head_time = tp.best_single_seconds(split.head, model=spec)
+    return max(tower_times) + head_time

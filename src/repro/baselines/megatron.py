@@ -1,0 +1,91 @@
+"""Megatron-LM baseline: model parallelism per functional module.
+
+The paper applies Megatron-style parallelism to each module of the model
+and executes the modules **sequentially** — intra-module partitioning has
+no notion of running the text encoder while the vision encoder computes
+("it cannot benefit from parallel processing across encoders", Sec. VI-B).
+Latency is input transmission + the sum of per-module times under the
+tensor-parallel cost model.  Memory is the full model per task: intra-module
+approaches have no cross-task sharing story, so multi-task deployments pay
+the duplicated sum (the Table XI "Retrieval+Alignment" row).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.parallelism import TensorParallelModel
+from repro.cluster.network import Network
+from repro.core.catalog import get_model
+from repro.core.splitter import split_model
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import DeviceProfile, get_device_profile
+
+
+def _tp_model(
+    device_names: Sequence[str],
+    network: Optional[Network],
+    compute_model: ComputeModel,
+) -> TensorParallelModel:
+    devices = [get_device_profile(name) for name in device_names]
+    return TensorParallelModel(
+        devices=devices,
+        network=network if network is not None else Network(),
+        compute_model=compute_model,
+    )
+
+
+def megatron_multitask_latency(
+    models: Sequence[str],
+    device_names: Sequence[str],
+    source: str,
+    network: Optional[Network] = None,
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
+) -> float:
+    """Latency of one simultaneous request per model under Megatron-LM.
+
+    Every Megatron model spans the whole device group (tensor parallelism),
+    so concurrent tasks cannot overlap; the burst serializes and the last
+    request's latency is the sum of the single-task latencies.
+    """
+    return sum(
+        megatron_latency(model, device_names, source, network, compute_model)
+        for model in models
+    )
+
+
+def megatron_latency(
+    model: str,
+    device_names: Sequence[str],
+    source: str,
+    network: Optional[Network] = None,
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
+) -> float:
+    """Single-request latency under the Megatron-LM baseline."""
+    spec = get_model(model)
+    split = split_model(spec)
+    tp = _tp_model(device_names, network, compute_model)
+    net = tp.network
+    input_comm = sum(
+        net.transfer_seconds(source, _nearest(tp.devices, source), spec.payload_bytes(enc.modality or "image"))
+        for enc in split.encoders
+    )
+    compute = sum(tp.module_seconds(module, model=spec) for module in split.modules)
+    return input_comm + compute
+
+
+def _nearest(devices: Sequence[DeviceProfile], source: str) -> str:
+    """Data lands on the first non-source device of the group (or source)."""
+    for device in devices:
+        if device.name != source:
+            return device.name
+    return source
+
+
+def megatron_params(models: Sequence[str]) -> int:
+    """Deployed parameters for a (multi-task) Megatron deployment.
+
+    One full copy per model: intra-module partitioning spreads each model's
+    weights but deduplicates nothing across tasks.
+    """
+    return sum(split_model(get_model(name)).total_params for name in models)

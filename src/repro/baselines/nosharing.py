@@ -1,0 +1,23 @@
+"""No-sharing baseline: split architecture with per-task dedicated modules.
+
+Table X's "w/o Sharing" arm — every task deploys private copies of its
+modules, paying duplicated memory but avoiding shared-module queueing.  This
+is just the S2M3 engine with ``share=False``; the wrapper exists so
+experiments read declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.topology import EdgeCluster
+from repro.core.engine import S2M3Engine
+
+
+def no_sharing_engine(
+    cluster: EdgeCluster,
+    models: Sequence[str],
+    parallel: bool = True,
+) -> S2M3Engine:
+    """An engine deploying dedicated module copies per model."""
+    return S2M3Engine(cluster, models, share=False, parallel=parallel)

@@ -1,0 +1,45 @@
+"""Optimus baseline estimate (VQA only) — paper footnote 3.
+
+Optimus (Feng et al., 2024) accelerates multi-modal *training* by bubble
+exploitation; it is closed source and VQA-specific, so the paper estimates
+its inference latency as the ideal parallel reduction: total best-device
+compute divided by the device count, plus the unavoidable input transfer.
+We reproduce that estimation procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.parallelism import TensorParallelModel
+from repro.cluster.network import Network
+from repro.core.catalog import get_model
+from repro.core.splitter import split_model
+from repro.core.tasks import Task
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import get_device_profile
+from repro.utils.errors import ConfigurationError
+
+
+def optimus_latency(
+    model: str,
+    device_names: Sequence[str],
+    source: str,
+    network: Optional[Network] = None,
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
+) -> float:
+    """Ideal-parallel latency estimate; raises for non-VQA models."""
+    spec = get_model(model)
+    if spec.task is not Task.DECODER_VQA and spec.task is not Task.ENCODER_VQA:
+        raise ConfigurationError("Optimus is designed only for VQA (paper Table XI)")
+    devices = [get_device_profile(name) for name in device_names]
+    net = network if network is not None else Network()
+    tp = TensorParallelModel(devices=devices, network=net, compute_model=compute_model)
+    split = split_model(spec)
+    total_compute = sum(tp.best_single_seconds(module, model=spec) for module in split.modules)
+    target = next((d.name for d in devices if d.name != source), source)
+    input_comm = sum(
+        net.transfer_seconds(source, target, spec.payload_bytes(enc.modality or "image"))
+        for enc in split.encoders
+    )
+    return input_comm + total_compute / max(1, len(devices))

@@ -1,0 +1,86 @@
+"""Tensor-parallel cost model for the intra-module partitioning baselines.
+
+Megatron-LM-style tensor parallelism splits each layer across ``n`` workers
+and synchronizes with all-reduces: per transformer layer, two all-reduce
+rounds; over a shared PAN medium an ``n``-worker all-reduce serializes into
+``2(n-1)`` activation transfers.  The compute side shrinks ``n``-fold, so
+
+    t_tp(module) = t_best / n + layers * 2 * 2(n-1) * t_xfer(act)
+
+A rational implementation never uses tensor parallelism when it loses, so
+module time is ``min(t_single_best, t_tp)``.  On the paper's home network
+the exchange term dominates for every evaluated module — which is exactly
+why Table XI shows Megatron-LM matching the *sequential* single-best time
+(3.03 s on retrieval) rather than beating S2M3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.network import Network
+from repro.core.models import ModelSpec
+from repro.core.modules import ModuleKind, ModuleSpec
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import DeviceProfile
+
+#: Activation bytes exchanged per all-reduce step (a token batch's worth).
+ACTIVATION_BYTES = 100_000
+
+
+def estimated_layers(module: ModuleSpec) -> int:
+    """Rough transformer-depth estimate used for exchange accounting."""
+    if module.kind is ModuleKind.LANGUAGE_MODEL:
+        base, ref = 22, 1_100_000_000  # TinyLlama-scale
+    else:
+        base, ref = 12, 86_000_000  # ViT-B-scale
+    if module.params <= 0:
+        return 1
+    scaled = base * (module.params / ref) ** (1.0 / 3.0)
+    return max(2, int(round(scaled)))
+
+
+@dataclass
+class TensorParallelModel:
+    """Prices intra-module tensor parallelism over a device group."""
+
+    devices: Sequence[DeviceProfile]
+    network: Network
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL
+    activation_bytes: int = ACTIVATION_BYTES
+
+    def best_single_seconds(self, module: ModuleSpec, model: Optional[ModelSpec] = None) -> float:
+        """Fastest single-device compute time for the module."""
+        return min(
+            self.compute_model.seconds(module, device, model=model) for device in self.devices
+        )
+
+    def exchange_seconds_per_layer(self) -> float:
+        """One all-reduce round over the group's slowest pairwise path."""
+        names = [device.name for device in self.devices]
+        slowest = max(
+            self.network.transfer_seconds(a, b, self.activation_bytes)
+            for a in names
+            for b in names
+            if a != b
+        ) if len(names) > 1 else 0.0
+        return 2 * (len(names) - 1) * slowest
+
+    def tensor_parallel_seconds(self, module: ModuleSpec, model: Optional[ModelSpec] = None) -> float:
+        """Pure tensor-parallel time over the whole group (no fallback)."""
+        n = len(self.devices)
+        compute = self.best_single_seconds(module, model) / max(1, n)
+        if n <= 1:
+            return compute
+        layers = estimated_layers(module)
+        # Two all-reduce rounds per layer (attention + MLP).
+        exchange = layers * 2 * self.exchange_seconds_per_layer()
+        return compute + exchange
+
+    def module_seconds(self, module: ModuleSpec, model: Optional[ModelSpec] = None) -> float:
+        """What a rational deployment pays: min(single-best, tensor-parallel)."""
+        return min(
+            self.best_single_seconds(module, model),
+            self.tensor_parallel_seconds(module, model),
+        )

@@ -1,0 +1,68 @@
+"""Latency statistics for execution results.
+
+The paper reports single latency values averaged over five trials; for the
+extension studies (queue-aware routing, batching, churn) tail behaviour
+matters, so we provide the usual summary: mean, percentiles, throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.routing.executor import ExecutionResult
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a set of request latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    makespan: float
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.count / self.makespan
+
+
+def summarize(result: ExecutionResult) -> LatencySummary:
+    """Summarize an :class:`ExecutionResult`."""
+    return summarize_latencies(result.latencies, makespan=result.makespan)
+
+
+def summarize_latencies(latencies: Sequence[float], makespan: float = 0.0) -> LatencySummary:
+    """Summarize raw latency values."""
+    if not latencies:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, makespan)
+    array = np.asarray(latencies, dtype=float)
+    return LatencySummary(
+        count=len(array),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+        p99=float(np.percentile(array, 99)),
+        maximum=float(array.max()),
+        makespan=makespan,
+    )
+
+
+def compare(baseline: LatencySummary, variant: LatencySummary) -> str:
+    """One-line human comparison of two summaries."""
+    if baseline.mean <= 0:
+        return "baseline has no completed requests"
+    delta = 100.0 * (variant.mean - baseline.mean) / baseline.mean
+    direction = "slower" if delta > 0 else "faster"
+    return (
+        f"variant mean {variant.mean:.2f}s vs baseline {baseline.mean:.2f}s "
+        f"({abs(delta):.1f}% {direction}); p95 {variant.p95:.2f}s vs {baseline.p95:.2f}s"
+    )

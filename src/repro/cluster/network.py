@@ -1,0 +1,88 @@
+"""The PAN/MAN network: transfer pricing over the testbed topology.
+
+Transfers are priced analytically (path latency + serialization at the
+bottleneck link).  The paper measures communication to be negligible within
+the PAN and dominated by the residential MAN uplink, and explicitly notes
+that short-term network variation barely moves end-to-end latency
+(Sec. VI-C), so we do not model per-link queueing; the optional jitter hook
+supports the randomized-trial experiments instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.profiles.communication import LINK_PROFILES, LinkProfile
+from repro.utils.errors import ConfigurationError
+
+
+class Network:
+    """A weighted undirected graph of devices, routers and links."""
+
+    def __init__(self, links: Optional[Iterable[LinkProfile]] = None) -> None:
+        self.graph = nx.Graph()
+        self._jitter: Optional[Callable[[str, str], float]] = None
+        for link in links if links is not None else LINK_PROFILES:
+            self.add_link(link)
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    def add_link(self, link: LinkProfile) -> None:
+        """Install a link; endpoints are created implicitly."""
+        self.graph.add_edge(link.a, link.b, profile=link, latency=link.latency_s)
+        self._path_cache = {}
+
+    def set_jitter(self, jitter: Optional[Callable[[str, str], float]]) -> None:
+        """Install a multiplicative jitter hook ``(src, dst) -> factor``.
+
+        Used by the randomized placement trials to emulate the paper's
+        uncontrolled home-network conditions.
+        """
+        self._jitter = jitter
+
+    # ------------------------------------------------------------------
+    # Path queries
+    # ------------------------------------------------------------------
+    def path(self, src: str, dst: str) -> List[str]:
+        """Lowest-latency path between two nodes (cached)."""
+        key = (src, dst)
+        if key not in self._path_cache:
+            if src not in self.graph or dst not in self.graph:
+                raise ConfigurationError(f"unknown endpoint in transfer {src!r} -> {dst!r}")
+            try:
+                self._path_cache[key] = nx.shortest_path(self.graph, src, dst, weight="latency")
+            except nx.NetworkXNoPath:
+                raise ConfigurationError(f"no network path {src!r} -> {dst!r}") from None
+        return self._path_cache[key]
+
+    def path_links(self, src: str, dst: str) -> List[LinkProfile]:
+        """The link profiles along the routing path."""
+        nodes = self.path(src, dst)
+        return [self.graph.edges[a, b]["profile"] for a, b in zip(nodes, nodes[1:])]
+
+    # ------------------------------------------------------------------
+    # Transfer pricing
+    # ------------------------------------------------------------------
+    def transfer_seconds(self, src: str, dst: str, payload_bytes: int) -> float:
+        """Time to move ``payload_bytes`` from ``src`` to ``dst``.
+
+        Zero when endpoints coincide (the paper only transmits "if the
+        requester device and the device to encode the data are different").
+        Cost = sum of per-hop latencies + serialization at the bottleneck.
+        """
+        if payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative, got {payload_bytes}")
+        if src == dst:
+            return 0.0
+        links = self.path_links(src, dst)
+        latency = sum(link.latency_s for link in links)
+        bottleneck = min(link.bandwidth_bps for link in links)
+        seconds = latency + payload_bytes * 8 / bottleneck
+        if self._jitter is not None:
+            seconds *= self._jitter(src, dst)
+        return seconds
+
+    def device_nodes(self) -> List[str]:
+        """All non-router nodes."""
+        return [node for node in self.graph.nodes if not node.endswith(("-router", "-gateway"))]

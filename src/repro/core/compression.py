@@ -1,0 +1,86 @@
+"""Module compression hooks (paper Secs. I, IV-A, V-B).
+
+S2M3's functional-level split is deliberately *compatible* with intra-module
+compression: any module can be swapped for a quantized version with the same
+function ("interchangeability of functional modules", Insight 3).  The paper
+invokes this as the remedy when a module fits on no device.
+
+We model post-training quantization the way deployment stacks do:
+
+- memory shrinks with the bit width (fp16 -> int8 -> int4);
+- compute cost drops modestly (int kernels are faster but not 2x on these
+  devices);
+- a small accuracy penalty applies, growing as precision falls (the paper
+  cites the compression/accuracy trade-off of [15]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.modules import ModuleSpec
+from repro.profiles.devices import DeviceProfile
+from repro.utils.errors import ConfigurationError
+
+#: Supported precisions: bits -> (bytes/param, work multiplier, accuracy drop).
+#: int4 packs two params per byte plus per-group scales, hence 0.6 B/param.
+QUANTIZATION_LEVELS = {
+    16: (2.0, 1.00, 0.000),
+    8: (1.0, 0.85, 0.005),
+    4: (0.6, 0.75, 0.02),
+}
+
+
+@dataclass(frozen=True)
+class CompressedModule:
+    """A quantized stand-in for a catalog module."""
+
+    spec: ModuleSpec
+    source_name: str
+    bits: int
+    accuracy_penalty: float
+
+
+def quantize(module: ModuleSpec, bits: int) -> CompressedModule:
+    """Produce a ``bits``-precision variant of ``module``.
+
+    The variant gets a distinct name (``<name>-int8``) — a *different*
+    sharing key, because its weights differ from the fp16 original.
+    """
+    if bits not in QUANTIZATION_LEVELS:
+        raise ConfigurationError(
+            f"unsupported precision {bits}; choose from {sorted(QUANTIZATION_LEVELS)}"
+        )
+    bytes_per_param, work_multiplier, accuracy_drop = QUANTIZATION_LEVELS[bits]
+    if bits == 16:
+        return CompressedModule(module, module.name, 16, 0.0)
+    spec = dataclasses.replace(
+        module,
+        name=f"{module.name}-int{bits}",
+        work=module.work * work_multiplier,
+        bytes_per_param=bytes_per_param,
+    )
+    return CompressedModule(spec, module.name, bits, accuracy_drop)
+
+
+def compress_to_fit(
+    module: ModuleSpec,
+    devices: Sequence[DeviceProfile],
+    max_accuracy_penalty: float = 0.02,
+) -> Optional[CompressedModule]:
+    """The *least* compression that makes ``module`` fit some device.
+
+    Returns None when even the most aggressive allowed precision does not
+    fit (the paper's next resort is intra-module partitioning — see
+    :mod:`repro.core.partitioning`).
+    """
+    best_free = max(device.memory_bytes for device in devices)
+    for bits in sorted(QUANTIZATION_LEVELS, reverse=True):  # least compression first
+        candidate = quantize(module, bits)
+        if candidate.accuracy_penalty > max_accuracy_penalty:
+            continue
+        if candidate.spec.memory_bytes <= best_free:
+            return candidate
+    return None

@@ -1,0 +1,80 @@
+"""Model specifications: a model is a named bundle of functional modules.
+
+A :class:`ModelSpec` corresponds to one row of paper Table II — for example
+``CLIP ViT-B/16`` is (vision encoder ``clip-vit-b16-vision``, text encoder
+``clip-trf-38m``, head ``cosine-similarity``).  The spec references modules
+*by name*; resolving names to :class:`~repro.core.modules.ModuleSpec` happens
+through the catalog, which is what makes cross-model sharing observable: two
+specs naming the same module share one deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Tuple
+
+from repro.core.tasks import Task
+from repro.utils.errors import ConfigurationError
+
+#: Default per-modality request payload sizes (bytes).  Images are resized
+#: 224px JPEGs; text payloads are tokenized prompts; audio is a log-mel clip.
+DEFAULT_INPUT_BYTES: Mapping[str, int] = MappingProxyType(
+    {"image": 150_000, "text": 2_000, "audio": 120_000}
+)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one multi-modal model (a Table II row).
+
+    Attributes:
+        name: Unique model identifier, e.g. ``"clip-vit-b16"``.
+        display_name: Paper-style name, e.g. ``"CLIP ViT-B/16"``.
+        task: The multi-modal task this model serves.
+        encoders: Names of the modality-wise encoder modules.
+        head: Name of the task-head module.
+        work_scale: Per-module multiplier applied to the module's *base* work
+            when serving a request for THIS model.  This captures that the
+            same text encoder does ~100 prompt encodings for zero-shot
+            retrieval but only one question for VQA, so a shared module can
+            have model-dependent compute cost.
+        input_bytes: Per-modality request payload overrides.
+    """
+
+    name: str
+    display_name: str
+    task: Task
+    encoders: Tuple[str, ...]
+    head: str
+    work_scale: Mapping[str, float] = field(default_factory=dict)
+    input_bytes: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.encoders:
+            raise ConfigurationError(f"model {self.name!r} declares no encoder modules")
+        if len(set(self.encoders)) != len(self.encoders):
+            raise ConfigurationError(f"model {self.name!r} lists a duplicate encoder")
+        # Freeze the mutable mapping defaults so the spec is safely hashable-ish.
+        object.__setattr__(self, "work_scale", MappingProxyType(dict(self.work_scale)))
+        object.__setattr__(self, "input_bytes", MappingProxyType(dict(self.input_bytes)))
+
+    @property
+    def module_names(self) -> Tuple[str, ...]:
+        """All module names, encoders first then head (the paper's ``M_k``)."""
+        return self.encoders + (self.head,)
+
+    def scale_for(self, module_name: str) -> float:
+        """Work multiplier for ``module_name`` under this model (default 1)."""
+        return float(self.work_scale.get(module_name, 1.0))
+
+    def payload_bytes(self, modality: str) -> int:
+        """Request payload size for one modality's input data."""
+        if modality in self.input_bytes:
+            return int(self.input_bytes[modality])
+        if modality in DEFAULT_INPUT_BYTES:
+            return DEFAULT_INPUT_BYTES[modality]
+        raise ConfigurationError(f"unknown modality {modality!r} for model {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.display_name} [{self.task.value}]"

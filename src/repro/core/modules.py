@@ -1,0 +1,118 @@
+"""Functional-level modules (the unit of S2M3's inter-module partitioning).
+
+A *module* is one functional block of a multi-modal model: a modality-wise
+encoder (vision / text / audio) or a task head (LLM, distance measure,
+classifier) — see paper Sec. IV-A and Table IV.  Modules are identified by
+name: two models referencing the same module *name* share one deployment
+(Insight 4), which is exactly what :mod:`repro.core.sharing` exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.units import params_to_bytes
+
+
+class ModuleKind(enum.Enum):
+    """Functional role of a module (columns of paper Table IV)."""
+
+    VISION_ENCODER = "vision_encoder"
+    TEXT_ENCODER = "text_encoder"
+    AUDIO_ENCODER = "audio_encoder"
+    LANGUAGE_MODEL = "language_model"
+    DISTANCE = "distance"
+    CLASSIFIER = "classifier"
+
+    @property
+    def is_encoder(self) -> bool:
+        """Encoders are the parallel-processable modality modules (Insight 2)."""
+        return self in _ENCODER_KINDS
+
+    @property
+    def is_head(self) -> bool:
+        """Heads run once per request, after all encoders complete."""
+        return not self.is_encoder
+
+    @property
+    def modality(self) -> Optional[str]:
+        """Input modality consumed by an encoder kind (None for heads)."""
+        return _MODALITY_BY_KIND.get(self)
+
+
+_ENCODER_KINDS = {
+    ModuleKind.VISION_ENCODER,
+    ModuleKind.TEXT_ENCODER,
+    ModuleKind.AUDIO_ENCODER,
+}
+
+_MODALITY_BY_KIND = {
+    ModuleKind.VISION_ENCODER: "image",
+    ModuleKind.TEXT_ENCODER: "text",
+    ModuleKind.AUDIO_ENCODER: "audio",
+}
+
+#: Architecture families, used by the compute model: CNNs and transformers
+#: have different throughput characteristics on CPU-class edge devices
+#: (paper footnote 2 shows a 14x text-encoder gap between laptop and Jetson).
+FAMILY_CNN = "cnn"
+FAMILY_TRANSFORMER = "transformer"
+FAMILY_ANALYTIC = "analytic"  # parameter-free heads (cosine similarity, InfoNCE)
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Static description of one functional module.
+
+    Attributes:
+        name: Globally unique identity; the *sharing key*.  Two models whose
+            specs name the same module reuse a single deployed copy.
+        kind: Functional role (encoder vs. head, and which modality).
+        params: Parameter count (paper Table V).
+        work: Abstract compute demand in GFLOP-like units for serving one
+            request (for text encoders in retrieval, this covers the whole
+            zero-shot prompt set; for LLM heads, a full answer generation).
+        family: Architecture family for device-throughput modelling.
+        output_bytes: Size of the activation shipped from this module to the
+            task head (the ``t_comm`` of Eq. 2's third term).
+        bytes_per_param: Checkpoint precision (2 = fp16 default; quantized
+            variants use 1 for int8 and 0.6 for packed int4 + scales).
+    """
+
+    name: str
+    kind: ModuleKind
+    params: int
+    work: float
+    family: str = FAMILY_TRANSFORMER
+    output_bytes: int = 2 * 1024
+    bytes_per_param: float = 2
+
+    def __post_init__(self) -> None:
+        if self.params < 0:
+            raise ValueError(f"module {self.name!r}: params must be >= 0")
+        if self.work < 0:
+            raise ValueError(f"module {self.name!r}: work must be >= 0")
+        if self.output_bytes < 0:
+            raise ValueError(f"module {self.name!r}: output_bytes must be >= 0")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Deployment memory requirement ``r_m`` of Eq. 4d."""
+        return params_to_bytes(self.params, self.bytes_per_param)
+
+    @property
+    def is_encoder(self) -> bool:
+        return self.kind.is_encoder
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind.is_head
+
+    @property
+    def modality(self) -> Optional[str]:
+        return self.kind.modality
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.kind.value}, {self.params / 1e6:.0f}M)"

@@ -1,0 +1,32 @@
+"""Module-level placement (paper Sec. V).
+
+- :mod:`repro.core.placement.problem` — the placement instance and the
+  :class:`Placement` decision object (the ``x_{m,n}`` of Eq. 4).
+- :mod:`repro.core.placement.greedy` — Algorithm 1's greedy placement.
+- :mod:`repro.core.placement.optimal` — brute-force optimum (the paper's
+  "Upper" baseline).
+- :mod:`repro.core.placement.variants` — ablation orderings.
+- :mod:`repro.core.placement.validation` — feasibility checks (Eq. 4d/4e).
+"""
+
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.core.placement.greedy import greedy_placement, replicate_with_leftover
+from repro.core.placement.optimal import optimal_placement
+from repro.core.placement.validation import check_placement
+from repro.core.placement.variants import (
+    ascending_memory_placement,
+    no_accumulation_placement,
+    random_placement,
+)
+
+__all__ = [
+    "Placement",
+    "PlacementProblem",
+    "greedy_placement",
+    "replicate_with_leftover",
+    "optimal_placement",
+    "check_placement",
+    "ascending_memory_placement",
+    "no_accumulation_placement",
+    "random_placement",
+]

@@ -1,0 +1,130 @@
+"""Greedy module placement — paper Algorithm 1 (lines 2-12).
+
+Modules are visited in descending order of memory requirement (compute-
+intensive modules first, the paper's "prioritize the module that requires
+larger memory").  For each module, candidate devices are ranked by the
+completion-time score:
+
+- encoders use Eq. 5 — the module's compute time *plus* the accumulated
+  compute time of modules already placed on that device, which spreads
+  heavy encoders across devices and preserves parallelism;
+- task heads use Eq. 6 — pure compute time, because heads run after all
+  encoders and accumulation on a device does not delay them.
+
+The first ranked device with enough residual memory (Eq. 4d) wins.  If no
+device fits a module, we raise :class:`PlacementError` — the paper's remedy
+at that point is intra-module compression/partitioning, which is orthogonal
+(Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.modules import ModuleSpec
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.profiles.devices import DeviceProfile
+from repro.utils.errors import PlacementError
+
+#: Module-ordering hook: maps the problem to the visit order.  The default
+#: implements the paper's descending-memory order; variants override it.
+ModuleOrder = Callable[[PlacementProblem], List[ModuleSpec]]
+
+
+def descending_memory_order(problem: PlacementProblem) -> List[ModuleSpec]:
+    """Paper order: descending ``r_m``, name tie-break for determinism."""
+    return sorted(problem.modules, key=lambda m: (-m.memory_bytes, m.name))
+
+
+def completion_time(
+    problem: PlacementProblem,
+    module: ModuleSpec,
+    device: DeviceProfile,
+    accumulated: Dict[str, float],
+    accumulate_encoders: bool = True,
+) -> float:
+    """The greedy score ``t^place_{m,n}`` (Eq. 5 for encoders, Eq. 6 for heads)."""
+    own = problem.compute_seconds(module, device)
+    if module.is_encoder and accumulate_encoders:
+        return own + accumulated.get(device.name, 0.0)
+    return own
+
+
+def greedy_placement(
+    problem: PlacementProblem,
+    order: Optional[ModuleOrder] = None,
+    accumulate_encoders: bool = True,
+) -> Placement:
+    """Run Algorithm 1 and return the resulting single-copy placement.
+
+    ``order`` and ``accumulate_encoders`` exist for the ablation variants;
+    defaults reproduce the paper's algorithm exactly.
+    """
+    visit = (order or descending_memory_order)(problem)
+    residual: Dict[str, int] = {device.name: device.memory_bytes for device in problem.devices}
+    accumulated: Dict[str, float] = {device.name: 0.0 for device in problem.devices}
+    assignments: Dict[str, Tuple[str, ...]] = {}
+
+    for module in visit:
+        ranked = sorted(
+            problem.devices,
+            key=lambda device: (
+                completion_time(problem, module, device, accumulated, accumulate_encoders),
+                device.name,
+            ),
+        )
+        placed = False
+        for device in ranked:
+            if module.memory_bytes <= residual[device.name]:
+                assignments[module.name] = (device.name,)
+                residual[device.name] -= module.memory_bytes
+                # Accumulate this device's busy time for later encoder scores.
+                accumulated[device.name] += problem.compute_seconds(module, device)
+                placed = True
+                break
+        if not placed:
+            raise PlacementError(
+                f"module {module.name!r} ({module.memory_bytes} B) fits on no device; "
+                "apply compression or intra-module partitioning first (paper Sec. V-B)"
+            )
+    return Placement(assignments)
+
+
+def replicate_with_leftover(
+    problem: PlacementProblem,
+    placement: Placement,
+    max_copies: int = 2,
+) -> Placement:
+    """Replicate large modules into leftover memory (paper Sec. V-B, last ¶).
+
+    After the primary pass, modules are revisited in descending memory order
+    and an extra replica is placed on the fastest device with room, up to
+    ``max_copies`` total copies per module.  Replicas relieve the shared-
+    module queueing bottleneck at the price of memory.
+    """
+    if max_copies < 1:
+        raise ValueError(f"max_copies must be >= 1, got {max_copies}")
+    modules = {module.name: module for module in problem.modules}
+    residual: Dict[str, int] = {device.name: device.memory_bytes for device in problem.devices}
+    for name, hosts in placement.assignments.items():
+        for host in hosts:
+            residual[host] -= modules[name].memory_bytes
+
+    current = placement
+    for module in descending_memory_order(problem):
+        while len(current.hosts(module.name)) < max_copies:
+            candidates = [
+                device
+                for device in problem.devices
+                if device.name not in current.hosts(module.name)
+                and module.memory_bytes <= residual[device.name]
+            ]
+            if not candidates:
+                break
+            best = min(
+                candidates,
+                key=lambda device: (problem.compute_seconds(module, device), device.name),
+            )
+            current = current.with_extra(module.name, best.name)
+            residual[best.name] -= module.memory_bytes
+    return current

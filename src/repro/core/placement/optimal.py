@@ -1,0 +1,76 @@
+"""Brute-force optimal placement — the paper's "Upper" baseline.
+
+Enumerates every assignment of modules to devices (single copy each),
+filters memory-infeasible ones (Eq. 4d), and scores the rest with the
+analytic objective (Eq. 4a) under fastest-host routing.  With the paper's
+problem sizes (<= 4 modules, <= 5 devices) this is at most 5^4 = 625
+evaluations, which is why the paper can report exact optimality rates
+(89/95 instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.utils.errors import PlacementError
+
+#: Safety cap on the enumeration size; beyond it, brute force is not the tool.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+def enumerate_placements(problem: PlacementProblem):
+    """Yield every memory-feasible single-copy placement."""
+    modules = list(problem.modules)
+    device_names = [device.name for device in problem.devices]
+    total = len(device_names) ** len(modules)
+    if total > MAX_ASSIGNMENTS:
+        raise PlacementError(
+            f"brute force would enumerate {total} assignments (> {MAX_ASSIGNMENTS}); "
+            "use the greedy solver for instances of this size"
+        )
+    capacities = {device.name: device.memory_bytes for device in problem.devices}
+    for combo in itertools.product(device_names, repeat=len(modules)):
+        residual = dict(capacities)
+        feasible = True
+        for module, host in zip(modules, combo):
+            residual[host] -= module.memory_bytes
+            if residual[host] < 0:
+                feasible = False
+                break
+        if feasible:
+            yield Placement({module.name: (host,) for module, host in zip(modules, combo)})
+
+
+def optimal_placement(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    parallel: bool = True,
+) -> Tuple[Placement, float]:
+    """The latency-optimal placement and its objective value.
+
+    Ties break toward the lexicographically-smallest assignment so results
+    are deterministic.
+    """
+    if not requests:
+        raise PlacementError("optimal placement needs at least one request to score")
+    # Imported here: repro.core.routing imports this package at module load,
+    # so a top-level import would cycle.
+    from repro.core.routing.latency import LatencyModel
+
+    model = LatencyModel(problem, network if network is not None else Network(), parallel=parallel)
+    best: Optional[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...], Placement]] = None
+    found_any = False
+    for placement in enumerate_placements(problem):
+        found_any = True
+        objective = model.objective(requests, placement)
+        key = (objective, tuple(sorted(placement.as_dict().items())), placement)
+        if best is None or key[:2] < best[:2]:
+            best = key
+    if not found_any or best is None:
+        raise PlacementError("no memory-feasible placement exists for this instance")
+    return best[2], best[0]

@@ -1,0 +1,131 @@
+"""The placement problem instance and decision objects.
+
+A :class:`PlacementProblem` carries the distinct module set ``M`` (after
+sharing), the candidate devices with their memory budgets, and the compute
+model used for the completion-time scores of Eqs. 5-7.  A :class:`Placement`
+is the binary decision matrix ``x_{m,n}`` in sparse form: module name ->
+tuple of host device names (multiple hosts = replication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.models import ModelSpec
+from repro.core.modules import ModuleSpec
+from repro.core.sharing import build_sharing_plan
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import DeviceProfile, get_device_profile
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """One placement instance: modules, devices, and timing oracles."""
+
+    modules: Tuple[ModuleSpec, ...]
+    devices: Tuple[DeviceProfile, ...]
+    models: Tuple[ModelSpec, ...]
+    compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL
+    #: Optional multiplicative noise on compute times, keyed by
+    #: (module, device) — used by the randomized optimality trials to model
+    #: the paper's run-to-run variability.
+    compute_noise: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.modules:
+            raise ConfigurationError("placement problem has no modules")
+        if not self.devices:
+            raise ConfigurationError("placement problem has no devices")
+        names = [module.name for module in self.modules]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("placement problem has duplicate modules")
+        object.__setattr__(self, "compute_noise", MappingProxyType(dict(self.compute_noise)))
+
+    # ------------------------------------------------------------------
+    # Timing oracles
+    # ------------------------------------------------------------------
+    def planning_scale(self, module: ModuleSpec) -> float:
+        """Work scale used for planning: the most demanding use of the module.
+
+        A shared text encoder serves retrieval's full prompt set and VQA's
+        single question; placement must budget for the heavier use.
+        """
+        scales = [model.scale_for(module.name) for model in self.models
+                  if module.name in model.module_names]
+        return max(scales, default=1.0)
+
+    def compute_seconds(self, module: ModuleSpec, device: DeviceProfile) -> float:
+        """Planning ``t^comp_{m,n}`` with the planning work scale and noise."""
+        base = device.compute_seconds(module, work_scale=self.planning_scale(module))
+        return base * self.compute_noise.get((module.name, device.name), 1.0)
+
+    def device(self, name: str) -> DeviceProfile:
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise ConfigurationError(f"unknown device {name!r} in problem")
+
+    @staticmethod
+    def from_models(
+        models: Sequence["ModelSpec | str"],
+        device_names: Sequence[str],
+        compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
+        compute_noise: Optional[Mapping[Tuple[str, str], float]] = None,
+    ) -> "PlacementProblem":
+        """Build a problem from a model set (sharing applied) and device names."""
+        plan = build_sharing_plan(models)
+        return PlacementProblem(
+            modules=tuple(plan.distinct_modules),
+            devices=tuple(get_device_profile(name) for name in device_names),
+            models=tuple(plan.models),
+            compute_model=compute_model,
+            compute_noise=dict(compute_noise or {}),
+        )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A placement decision: module name -> host device names (``x_{m,n}``)."""
+
+    assignments: Mapping[str, Tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", MappingProxyType(dict(self.assignments)))
+
+    def hosts(self, module_name: str) -> Tuple[str, ...]:
+        """Devices hosting ``module_name`` (the paper's ``N_m``)."""
+        try:
+            return self.assignments[module_name]
+        except KeyError:
+            raise ConfigurationError(f"module {module_name!r} is unplaced") from None
+
+    def primary_host(self, module_name: str) -> str:
+        """First host (used when a module has a single copy)."""
+        return self.hosts(module_name)[0]
+
+    @property
+    def module_names(self) -> List[str]:
+        return list(self.assignments)
+
+    def modules_on(self, device_name: str) -> List[str]:
+        """Module names hosted by ``device_name``."""
+        return [name for name, hosts in self.assignments.items() if device_name in hosts]
+
+    def used_bytes(self, device_name: str, modules: Mapping[str, ModuleSpec]) -> int:
+        """Total weight bytes this placement puts on ``device_name``."""
+        return sum(modules[name].memory_bytes for name in self.modules_on(device_name))
+
+    def as_dict(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self.assignments)
+
+    def with_extra(self, module_name: str, device_name: str) -> "Placement":
+        """A new placement with an extra replica of ``module_name``."""
+        updated = dict(self.assignments)
+        hosts = updated.get(module_name, ())
+        if device_name in hosts:
+            return self
+        updated[module_name] = hosts + (device_name,)
+        return Placement(updated)

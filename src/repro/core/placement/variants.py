@@ -1,0 +1,57 @@
+"""Ablation variants of the greedy placement (DESIGN.md Sec. 5).
+
+These isolate the two design choices in Algorithm 1:
+
+- visiting modules in **descending memory order** (vs. ascending/random);
+- scoring encoder candidates with **accumulated completion time** (Eq. 5)
+  vs. pure compute time (Eq. 6 applied to everything).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.modules import ModuleSpec
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.utils.errors import PlacementError
+from repro.utils.seeding import rng_for
+
+
+def ascending_memory_placement(problem: PlacementProblem) -> Placement:
+    """Greedy but visiting the *smallest* modules first (order ablation)."""
+
+    def order(p: PlacementProblem) -> List[ModuleSpec]:
+        return sorted(p.modules, key=lambda m: (m.memory_bytes, m.name))
+
+    return greedy_placement(problem, order=order)
+
+
+def no_accumulation_placement(problem: PlacementProblem) -> Placement:
+    """Greedy but scoring encoders with pure compute time (Eq. 6 for all).
+
+    Without accumulation, every heavy module piles onto the single fastest
+    device, destroying per-request parallelism.
+    """
+    return greedy_placement(problem, accumulate_encoders=False)
+
+
+def random_placement(problem: PlacementProblem, seed: int = 0, attempts: int = 200) -> Placement:
+    """A uniformly random memory-feasible placement (weak baseline)."""
+    rng = rng_for("random-placement", seed)
+    device_names = [device.name for device in problem.devices]
+    for _ in range(attempts):
+        residual = {device.name: device.memory_bytes for device in problem.devices}
+        assignment = {}
+        ok = True
+        for module in problem.modules:
+            choices = [name for name in device_names if residual[name] >= module.memory_bytes]
+            if not choices:
+                ok = False
+                break
+            host = choices[int(rng.integers(len(choices)))]
+            assignment[module.name] = (host,)
+            residual[host] -= module.memory_bytes
+        if ok:
+            return Placement(assignment)
+    raise PlacementError(f"no feasible random placement found in {attempts} attempts")

@@ -1,0 +1,193 @@
+"""Discrete-event execution of routed requests (Algorithm 1, lines 13-19).
+
+For each request:
+
+1. route every required module to its fastest hosting device (Eq. 7);
+2. start all encoder paths; the requester's uplink sends modality inputs in
+   **descending order of expected encode time** (the paper's "send the data
+   with a modality that takes longer in the encoding first");
+3. each path: input transmission -> FIFO-queued encoding on its device ->
+   embedding transmission to the head's device;
+4. join all encoder paths (the max of Eq. 2), then run the head.
+
+Requests are spawned at their arrival times, so a stream of requests
+pipelines naturally: the next request starts encoding as soon as the shared
+encoder frees up — including the queueing delay Table X reports for shared
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.requests import InferenceRequest
+from repro.cluster.topology import EdgeCluster
+from repro.core.placement.problem import Placement
+from repro.core.routing.latency import LatencyModel, RoutingDecision
+from repro.sim import Resource, TraceRecorder
+from repro.sim.trace import CATEGORY_HEAD, CATEGORY_TRANSMISSION
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Completion record for one executed request."""
+
+    request: InferenceRequest
+    routing: RoutingDecision
+    start_time: float
+    finish_time: float
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion latency (includes any queueing)."""
+        return self.finish_time - self.request.arrival_time
+
+
+@dataclass
+class ExecutionResult:
+    """Outcomes plus the recorded timeline for a batch of requests."""
+
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    trace: Optional[TraceRecorder] = None
+
+    @property
+    def latencies(self) -> List[float]:
+        return [outcome.latency for outcome in self.outcomes]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(self.latencies) / len(self.outcomes)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies, default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last request."""
+        return max((outcome.finish_time for outcome in self.outcomes), default=0.0)
+
+    def outcome_for(self, request_id: int) -> RequestOutcome:
+        for outcome in self.outcomes:
+            if outcome.request.request_id == request_id:
+                return outcome
+        raise KeyError(f"no outcome for request {request_id}")
+
+
+def execute_requests(
+    cluster: EdgeCluster,
+    placement: Placement,
+    requests: Sequence[InferenceRequest],
+    latency_model: LatencyModel,
+    parallel: bool = True,
+    service_noise: Optional[Callable[[str, str], float]] = None,
+    router: Optional[Callable[[InferenceRequest], RoutingDecision]] = None,
+) -> ExecutionResult:
+    """Run ``requests`` to completion on the cluster; returns outcomes + trace.
+
+    ``service_noise(module, device) -> factor`` optionally perturbs service
+    times (used by the randomized optimality trials).  ``router`` overrides
+    the default fastest-host rule (Eq. 7) — e.g. the queue-aware router of
+    :mod:`repro.core.routing.queue_aware`.  The cluster's modules must
+    already be loaded (see the engine's ``deploy``).
+    """
+    result = ExecutionResult(trace=cluster.trace)
+    sim = cluster.sim
+    # One uplink NIC per source device, created lazily: concurrent modality
+    # input sends from the same requester serialize on it.
+    nics: Dict[str, Resource] = {}
+
+    def nic_for(source: str) -> Resource:
+        if source not in nics:
+            nics[source] = Resource(sim, capacity=1)
+        return nics[source]
+
+    def transfer(src: str, dst: str, payload: int, label: str, request_id: int):
+        seconds = cluster.network.transfer_seconds(src, dst, payload)
+        start = sim.now
+        if seconds > 0:
+            yield sim.timeout(seconds)
+            if cluster.trace is not None:
+                cluster.trace.record(src, CATEGORY_TRANSMISSION, label, start, sim.now, request_id)
+
+    def encoder_path(request: InferenceRequest, encoder, device_name: str, head_device: str):
+        modality = encoder.modality or "image"
+        payload = request.model.payload_bytes(modality)
+        # Serialize input sends on the requester's uplink.
+        nic = nic_for(request.source)
+        token = yield nic.acquire()
+        try:
+            yield from transfer(
+                request.source, device_name, payload,
+                f"{modality}->{device_name}", request.request_id,
+            )
+        finally:
+            nic.release(token)
+        device = cluster.device(device_name)
+        scale = service_noise(encoder.name, device_name) if service_noise else 1.0
+        yield from device.execute(
+            encoder,
+            model=request.model,
+            request_id=request.request_id,
+            label=f"encode {encoder.name}",
+            service_scale=scale,
+        )
+        yield from transfer(
+            device_name, head_device, encoder.output_bytes,
+            f"emb->{head_device}", request.request_id,
+        )
+
+    def request_proc(request: InferenceRequest):
+        if request.arrival_time > sim.now:
+            yield sim.timeout(request.arrival_time - sim.now)
+        start = sim.now
+        routing = router(request) if router is not None else latency_model.route(request, placement)
+        # Resolve modules against the problem's table (handles the cloned
+        # names of no-sharing deployments, which the catalog cannot).
+        encoders = [latency_model.module(name) for name in request.model.encoders]
+        head = latency_model.module(request.model.head)
+        head_device_name = routing.host_of(head.name)
+        # Longest-encoding-first send order (paper Sec. V-B).
+        ordered = sorted(
+            encoders,
+            key=lambda enc: -latency_model.compute_seconds(
+                request, enc.name, routing.host_of(enc.name)
+            ),
+        )
+        if parallel:
+            paths = [
+                sim.process(
+                    encoder_path(request, encoder, routing.host_of(encoder.name), head_device_name),
+                    name=f"q{request.request_id}:{encoder.name}",
+                )
+                for encoder in ordered
+            ]
+            if paths:
+                yield sim.all_of(paths)
+        else:
+            for encoder in ordered:
+                yield from encoder_path(
+                    request, encoder, routing.host_of(encoder.name), head_device_name
+                )
+        head_device = cluster.device(head_device_name)
+        scale = service_noise(head.name, head_device_name) if service_noise else 1.0
+        yield from head_device.execute(
+            head,
+            model=request.model,
+            request_id=request.request_id,
+            label=f"head {head.name}",
+            category=CATEGORY_HEAD,
+            service_scale=scale,
+        )
+        result.outcomes.append(
+            RequestOutcome(request=request, routing=routing, start_time=start, finish_time=sim.now)
+        )
+
+    for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
+        sim.process(request_proc(request), name=f"request-{request.request_id}")
+    sim.run()
+    result.outcomes.sort(key=lambda outcome: outcome.request.request_id)
+    return result

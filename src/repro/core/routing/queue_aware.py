@@ -1,0 +1,69 @@
+"""Queue-aware routing: an extension of the paper's Eq. 7.
+
+Eq. 7 routes each module to the *fastest* hosting device, which is correct
+for a single request but piles concurrent requests onto the same host even
+when replicas exist.  The queue-aware router scores each candidate host by
+``t_comp + estimated queue wait`` — the wait derived from the device's live
+occupancy (busy slots + queued work, each assumed to cost about this
+module's service time).
+
+This is the natural companion of the leftover-memory replication pass
+(Sec. V-B): replicas only help if routing spreads load across them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.requests import InferenceRequest
+from repro.cluster.topology import EdgeCluster
+from repro.core.placement.problem import Placement
+from repro.core.routing.latency import LatencyModel, RoutingDecision
+
+
+class QueueAwareRouter:
+    """Routes modules to the host minimizing compute + estimated waiting.
+
+    Two signals feed the wait estimate:
+
+    - the device's *live* occupancy (busy slots + queued jobs);
+    - the router's own *reservations* — work it has already routed that has
+      not yet reached the device's queue.  Without this, a simultaneous
+      burst routes before any queue forms and every request still piles
+      onto the single fastest host.
+    """
+
+    def __init__(
+        self,
+        cluster: EdgeCluster,
+        latency_model: LatencyModel,
+        placement: Placement,
+    ) -> None:
+        self.cluster = cluster
+        self.latency_model = latency_model
+        self.placement = placement
+        self._reserved_seconds: Dict[str, float] = {}
+
+    def estimated_wait(self, device_name: str, service_seconds: float) -> float:
+        """Expected queueing delay on ``device_name`` for a new arrival."""
+        device = self.cluster.device(device_name)
+        outstanding = device.slots.in_use + device.slots.queue_length
+        live_wait = outstanding / device.slots.capacity * service_seconds
+        reserved = self._reserved_seconds.get(device_name, 0.0) / device.slots.capacity
+        return live_wait + reserved
+
+    def __call__(self, request: InferenceRequest) -> RoutingDecision:
+        hosts: Dict[str, str] = {}
+        for module_name in request.model.module_names:
+            candidates = self.placement.hosts(module_name)
+            scored = []
+            for device_name in candidates:
+                service = self.latency_model.compute_seconds(request, module_name, device_name)
+                wait = self.estimated_wait(device_name, service)
+                scored.append((service + wait, device_name, service))
+            _, chosen, service = min(scored)
+            hosts[module_name] = chosen
+            self._reserved_seconds[chosen] = (
+                self._reserved_seconds.get(chosen, 0.0) + service
+            )
+        return RoutingDecision(request=request, hosts=hosts)

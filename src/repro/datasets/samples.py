@@ -1,0 +1,51 @@
+"""Sample dataclasses for the synthetic benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClassificationSample:
+    """An image with its ground-truth class."""
+
+    image: np.ndarray
+    label: int
+
+
+@dataclass(frozen=True)
+class RetrievalSample:
+    """An image to match against the benchmark's class-prompt set."""
+
+    image: np.ndarray
+    label: int
+
+
+@dataclass(frozen=True)
+class VQASample:
+    """An image + question; the answer indexes the answer vocabulary."""
+
+    image: np.ndarray
+    question_tokens: np.ndarray
+    answer: int
+
+
+@dataclass(frozen=True)
+class AlignmentSample:
+    """Co-occurring multi-modal observations of one concept."""
+
+    image: np.ndarray
+    audio: np.ndarray
+    text_tokens: np.ndarray
+    label: int
+
+
+@dataclass(frozen=True)
+class CaptioningSample:
+    """An image whose caption is its concept's token sequence."""
+
+    image: np.ndarray
+    caption_tokens: np.ndarray
+    label: int

@@ -1,0 +1,10 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each runner returns structured rows plus a rendered text table, and is
+wrapped by a benchmark in ``benchmarks/`` that regenerates the artifact.
+See DESIGN.md's per-experiment index.
+"""
+
+from repro.experiments.reporting import ExperimentTable
+
+__all__ = ["ExperimentTable"]

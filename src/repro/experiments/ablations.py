@@ -1,0 +1,159 @@
+"""Ablations of S2M3's design choices (DESIGN.md Sec. 5).
+
+Covers: greedy module-visit order (descending memory vs. ascending),
+accumulated completion time (Eq. 5) vs. pure compute time, parallel vs.
+sequential routing, replication of hot modules with leftover memory, and
+sharing under increasing request pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.core.placement.variants import ascending_memory_placement, no_accumulation_placement
+from repro.core.routing.latency import LatencyModel
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import DEFAULT_REQUESTER
+from repro.profiles.devices import edge_device_names
+
+#: Workload used for the placement ablations: two tasks sharing encoders.
+ABLATION_MODELS = ["clip-vit-b16", "alignment-vitb16"]
+
+
+@dataclass(frozen=True)
+class PlacementAblationRow:
+    strategy: str
+    objective_seconds: float
+    placement: Dict[str, tuple]
+
+
+def run_placement_ablation(models: Optional[List[str]] = None) -> List[PlacementAblationRow]:
+    """Analytic objective of each placement strategy on a shared workload."""
+    models = models if models is not None else ABLATION_MODELS
+    problem = PlacementProblem.from_models(models, edge_device_names())
+    network = Network()
+    latency_model = LatencyModel(problem, network)
+    requests = [InferenceRequest.for_model(name, DEFAULT_REQUESTER) for name in models]
+
+    strategies: List[tuple] = [
+        ("greedy (paper)", greedy_placement),
+        ("ascending memory order", ascending_memory_placement),
+        ("no Eq.5 accumulation", no_accumulation_placement),
+    ]
+    rows = []
+    for label, strategy in strategies:
+        placement = strategy(problem)
+        rows.append(
+            PlacementAblationRow(
+                strategy=label,
+                objective_seconds=latency_model.objective(requests, placement),
+                placement=placement.as_dict(),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ReplicationAblationRow:
+    label: str
+    mean_latency: float
+    total_params: int
+
+
+def run_replication_ablation(
+    model_name: str = "clip-vit-b16", concurrent_requests: int = 4
+) -> List[ReplicationAblationRow]:
+    """Does replicating hot modules into leftover memory cut queueing delay?"""
+    rows = []
+    for replicate in (False, True):
+        cluster = build_testbed(edge_device_names(), requester=DEFAULT_REQUESTER)
+        engine = S2M3Engine(cluster, [model_name], replicate=replicate)
+        report = engine.deploy()
+        requests = [engine.request(model_name) for _ in range(concurrent_requests)]
+        result = engine.serve(requests)
+        rows.append(
+            ReplicationAblationRow(
+                label="replicated" if replicate else "single-copy",
+                mean_latency=result.mean_latency,
+                total_params=report.total_params,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SharingPressureRow:
+    burst_size: int
+    shared_mean_latency: float
+    unshared_mean_latency: float
+    shared_params: int
+    unshared_params: int
+
+
+def run_sharing_pressure(
+    models: Optional[List[str]] = None, burst_sizes: Optional[List[int]] = None
+) -> List[SharingPressureRow]:
+    """The Sec. V memory/latency trade-off as request pressure grows."""
+    models = models if models is not None else ["clip-vit-b16", "encoder-vqa-small"]
+    rows = []
+    for burst in burst_sizes if burst_sizes is not None else [1, 2, 4]:
+        stats = {}
+        for share in (True, False):
+            cluster = build_testbed(edge_device_names(), requester=DEFAULT_REQUESTER)
+            engine = S2M3Engine(cluster, models, share=share)
+            report = engine.deploy()
+            requests = [
+                engine.request(models[i % len(models)]) for i in range(burst * len(models))
+            ]
+            result = engine.serve(requests)
+            stats[share] = (result.mean_latency, report.total_params)
+        rows.append(
+            SharingPressureRow(
+                burst_size=burst,
+                shared_mean_latency=stats[True][0],
+                unshared_mean_latency=stats[False][0],
+                shared_params=stats[True][1],
+                unshared_params=stats[False][1],
+            )
+        )
+    return rows
+
+
+def render_ablations() -> str:
+    placement_rows = run_placement_ablation()
+    table = ExperimentTable(
+        title="Ablation: placement strategy (analytic objective, 2-task workload)",
+        headers=["strategy", "objective(s)"],
+    )
+    for row in placement_rows:
+        table.add_row(row.strategy, row.objective_seconds)
+
+    replication_rows = run_replication_ablation()
+    rep = ExperimentTable(
+        title="Ablation: hot-module replication under 4 concurrent requests",
+        headers=["variant", "mean latency(s)", "total params"],
+    )
+    for row in replication_rows:
+        rep.add_row(row.label, row.mean_latency, row.total_params)
+
+    pressure_rows = run_sharing_pressure()
+    pressure = ExperimentTable(
+        title="Ablation: sharing vs dedicated modules under request pressure",
+        headers=["burst/task", "shared lat(s)", "unshared lat(s)", "shared params", "unshared params"],
+    )
+    for row in pressure_rows:
+        pressure.add_row(
+            row.burst_size,
+            row.shared_mean_latency,
+            row.unshared_mean_latency,
+            row.shared_params,
+            row.unshared_params,
+        )
+    return "\n\n".join([table.render(), rep.render(), pressure.render()])

@@ -1,0 +1,139 @@
+"""The optimality-rate experiment (Sec. VI-A).
+
+The paper reports that greedy placement achieves the brute-force optimum in
+89 of 95 instances (93.7%): 19 (model, benchmark) combinations x 5 trials.
+We reproduce the protocol: each trial perturbs per-(module, device) compute
+times with lognormal noise — the stand-in for the paper's uncontrolled
+home-network and scheduler variability — then compares the greedy
+placement's objective against the enumerated optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.optimal import optimal_placement
+from repro.core.placement.problem import PlacementProblem
+from repro.core.routing.latency import LatencyModel
+from repro.experiments.runner import DEFAULT_REQUESTER
+from repro.profiles.devices import edge_device_names
+from repro.utils.seeding import rng_for
+
+#: The paper's 19 (model, benchmark) evaluation combinations.
+COMBINATIONS: List[Tuple[str, str]] = [
+    ("clip-rn50", "food-101"),
+    ("clip-rn101", "food-101"),
+    ("clip-rn50x4", "food-101"),
+    ("clip-rn50x16", "food-101"),
+    ("clip-rn50x64", "food-101"),
+    ("clip-vit-b32", "food-101"),
+    ("clip-vit-b16", "food-101"),
+    ("clip-vit-l14", "food-101"),
+    ("clip-vit-l14-336", "food-101"),
+    ("clip-vit-b16", "cifar-10"),
+    ("clip-vit-b16", "cifar-100"),
+    ("clip-vit-b16", "country-211"),
+    ("clip-vit-b16", "flowers-102"),
+    ("encoder-vqa-small", "coco-retrieval"),
+    ("encoder-vqa-large", "coco-retrieval"),
+    ("flint-v0.5-1b", "vqa-v2"),
+    ("llava-v1.5-7b", "vqa-v2"),
+    ("xtuner-phi-3-mini", "vqa-v2"),
+    ("imagebind", "audioset-a"),
+]
+
+TRIALS_PER_COMBINATION = 5
+#: Lognormal sigma of per-(module, device) compute jitter (~6% run-to-run,
+#: typical of the paper's uncontrolled home-network testbed).
+NOISE_SIGMA = 0.06
+#: Greedy counts as optimal when within this relative slack of the optimum.
+#: The paper's protocol compares measured wall-clock latencies over noisy
+#: trials, so sub-percent objective ties (e.g. the head landing one device
+#: over, costing a millisecond of embedding transfer) are indistinguishable
+#: from optimal; 2% is well below the run-to-run variance of its testbed.
+REL_TOL = 0.02
+
+PAPER_OPTIMAL_RATE = 89 / 95
+
+
+@dataclass(frozen=True)
+class OptimalityTrial:
+    model: str
+    benchmark: str
+    trial: int
+    greedy_objective: float
+    optimal_objective: float
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.greedy_objective <= self.optimal_objective * (1 + REL_TOL)
+
+
+@dataclass
+class OptimalityReport:
+    trials: List[OptimalityTrial]
+
+    @property
+    def optimal_count(self) -> int:
+        return sum(trial.is_optimal for trial in self.trials)
+
+    @property
+    def rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return self.optimal_count / len(self.trials)
+
+    def render(self) -> str:
+        worst: Dict[str, int] = {}
+        for trial in self.trials:
+            if not trial.is_optimal:
+                worst[trial.model] = worst.get(trial.model, 0) + 1
+        lines = [
+            "Optimality of greedy placement (Sec. VI-A)",
+            f"optimal in {self.optimal_count} / {len(self.trials)} instances "
+            f"({100 * self.rate:.1f}%); paper: 89/95 (93.7%)",
+        ]
+        if worst:
+            misses = ", ".join(f"{model} x{count}" for model, count in sorted(worst.items()))
+            lines.append(f"suboptimal instances: {misses}")
+        return "\n".join(lines)
+
+
+def run_optimality(
+    combinations: Optional[List[Tuple[str, str]]] = None,
+    trials: int = TRIALS_PER_COMBINATION,
+    noise_sigma: float = NOISE_SIGMA,
+) -> OptimalityReport:
+    network = Network()
+    results = []
+    for model_name, benchmark in combinations if combinations is not None else COMBINATIONS:
+        for trial in range(trials):
+            rng = rng_for("optimality", model_name, benchmark, trial)
+            base = PlacementProblem.from_models([model_name], edge_device_names())
+            noise = {
+                (module.name, device.name): float(rng.lognormal(0.0, noise_sigma))
+                for module in base.modules
+                for device in base.devices
+            }
+            problem = PlacementProblem.from_models(
+                [model_name], edge_device_names(), compute_noise=noise
+            )
+            request = InferenceRequest.for_model(model_name, DEFAULT_REQUESTER)
+            latency_model = LatencyModel(problem, network)
+            greedy = greedy_placement(problem)
+            greedy_objective = latency_model.objective([request], greedy)
+            _, optimal_objective = optimal_placement(problem, [request], network)
+            results.append(
+                OptimalityTrial(
+                    model=model_name,
+                    benchmark=benchmark,
+                    trial=trial,
+                    greedy_objective=greedy_objective,
+                    optimal_objective=optimal_objective,
+                )
+            )
+    return OptimalityReport(trials=results)

@@ -1,0 +1,72 @@
+"""Text-table rendering for experiment outputs (paper-vs-measured)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "–"  # the paper's marker for "cannot run"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table with aligned text rendering."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, by header name."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        formatted = [[_fmt(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in formatted)) if formatted else len(header)
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def relative_saving(before: float, after: float) -> float:
+    """Percent reduction, e.g. 124M -> 86M is 30.6."""
+    if before <= 0:
+        return 0.0
+    return 100.0 * (1.0 - after / before)
+
+
+def format_million(params: int) -> str:
+    """Parameter count rendered the paper's way."""
+    if params >= 1_000_000_000:
+        return f"{params / 1e9:.1f}B"
+    if params >= 1_000_000:
+        return f"{params / 1e6:.0f}M"
+    if params >= 1_000:
+        return f"{params / 1e3:.0f}K"
+    return str(params)

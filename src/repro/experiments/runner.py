@@ -1,0 +1,55 @@
+"""Shared experiment plumbing: fresh clusters, engines, single-shot latency."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.topology import EdgeCluster, build_testbed
+from repro.core.engine import DeploymentReport, S2M3Engine
+from repro.profiles.devices import edge_device_names, testbed_device_names
+
+DEFAULT_REQUESTER = "jetson-a"
+
+
+def fresh_edge_cluster(requester: str = DEFAULT_REQUESTER) -> EdgeCluster:
+    """The paper's default deployment: four PAN edge devices."""
+    return build_testbed(edge_device_names(), requester=requester)
+
+
+def fresh_full_cluster(requester: str = DEFAULT_REQUESTER) -> EdgeCluster:
+    """Edge devices plus the GPU server (Table IX's last row)."""
+    return build_testbed(testbed_device_names(), requester=requester)
+
+
+def s2m3_single_request_latency(
+    model_name: str,
+    device_names: Optional[Sequence[str]] = None,
+    requester: str = DEFAULT_REQUESTER,
+    parallel: bool = True,
+) -> float:
+    """Deploy one model on a fresh cluster and serve one request (simulated)."""
+    cluster = build_testbed(
+        list(device_names) if device_names is not None else edge_device_names(),
+        requester=requester,
+    )
+    engine = S2M3Engine(cluster, [model_name], parallel=parallel)
+    engine.deploy()
+    result = engine.serve([engine.request(model_name)])
+    return result.outcomes[0].latency
+
+
+def s2m3_deploy(
+    model_names: Sequence[str],
+    device_names: Optional[Sequence[str]] = None,
+    requester: str = DEFAULT_REQUESTER,
+    share: bool = True,
+    parallel: bool = True,
+) -> tuple:
+    """(engine, deployment report) on a fresh cluster."""
+    cluster = build_testbed(
+        list(device_names) if device_names is not None else edge_device_names(),
+        requester=requester,
+    )
+    engine = S2M3Engine(cluster, list(model_names), share=share, parallel=parallel)
+    report: DeploymentReport = engine.deploy()
+    return engine, report

@@ -1,0 +1,103 @@
+"""Table X: multi-task deployment cost and latency, with/without sharing.
+
+Tasks are added one at a time (retrieval -> +encoder VQA -> +alignment ->
++classification); all active tasks fire one request simultaneously.  With
+sharing, each step only pays for modules not yet deployed (the "+1K",
+"+85M", "+52K" deltas), but simultaneous requests queue on shared modules,
+raising latency — the paper's memory/latency trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.experiments.reporting import ExperimentTable, format_million
+from repro.experiments.runner import DEFAULT_REQUESTER
+from repro.profiles.devices import edge_device_names
+
+#: The four tasks of Table X, in arrival order.
+TABLE10_MODELS: List[str] = [
+    "clip-vit-b16",            # image-text retrieval
+    "encoder-vqa-small",       # encoder-only VQA
+    "alignment-vitb16",        # cross-modal alignment
+    "image-classification-vitb16",  # image classification
+]
+
+#: Paper-reported (params w/o sharing, params w/ sharing, latency w/o, latency w/).
+PAPER_TABLE10: Dict[int, Tuple[str, str, float, float]] = {
+    1: ("124M", "124M", 2.48, 2.48),
+    2: ("248M", "124M", 2.48, 2.50),
+    3: ("457M", "209M", 3.73, 4.87),
+    4: ("543M", "209M", 3.73, 4.97),
+}
+
+
+@dataclass(frozen=True)
+class Table10Row:
+    task_count: int
+    models: Tuple[str, ...]
+    params_without_sharing: int
+    params_with_sharing: int
+    latency_without_sharing: float
+    latency_with_sharing: float
+
+
+def _deploy_and_burst(models: List[str], share: bool) -> Tuple[int, float]:
+    """(total deployed params, max latency of a simultaneous burst)."""
+    cluster = build_testbed(edge_device_names(), requester=DEFAULT_REQUESTER)
+    engine = S2M3Engine(cluster, models, share=share)
+    report = engine.deploy()
+    requests = [engine.request(name) for name in models]
+    result = engine.serve(requests)
+    return report.total_params, result.max_latency
+
+
+def run_table10(models: Optional[List[str]] = None) -> List[Table10Row]:
+    models = models if models is not None else TABLE10_MODELS
+    rows = []
+    for count in range(1, len(models) + 1):
+        active = models[:count]
+        unshared_params, unshared_latency = _deploy_and_burst(active, share=False)
+        shared_params, shared_latency = _deploy_and_burst(active, share=True)
+        rows.append(
+            Table10Row(
+                task_count=count,
+                models=tuple(active),
+                params_without_sharing=unshared_params,
+                params_with_sharing=shared_params,
+                latency_without_sharing=unshared_latency,
+                latency_with_sharing=shared_latency,
+            )
+        )
+    return rows
+
+
+def render_table10(rows: Optional[List[Table10Row]] = None) -> ExperimentTable:
+    rows = rows if rows is not None else run_table10()
+    table = ExperimentTable(
+        title="Table X: multi-task burst — deployment cost and latency vs sharing",
+        headers=[
+            "tasks", "#param w/o", "#param w/", "paper w/o", "paper w/",
+            "latency w/o", "latency w/", "paper w/o", "paper w/",
+        ],
+    )
+    for row in rows:
+        paper = PAPER_TABLE10.get(row.task_count, ("?", "?", None, None))
+        table.add_row(
+            row.task_count,
+            format_million(row.params_without_sharing),
+            format_million(row.params_with_sharing),
+            paper[0],
+            paper[1],
+            row.latency_without_sharing,
+            row.latency_with_sharing,
+            paper[2],
+            paper[3],
+        )
+    saving = 1 - rows[-1].params_with_sharing / rows[-1].params_without_sharing
+    table.add_note(f"sharing saves {100 * saving:.1f}% of parameters at {len(rows)} tasks "
+                   "(paper: 61.5%)")
+    return table

@@ -1,0 +1,105 @@
+"""Table XI: comparison to Optimus, DistMM and Megatron-LM.
+
+Optimus is VQA-only and DistMM retrieval-only (both estimated per the
+paper's footnote 3, since neither is open source); Megatron-LM applies
+model parallelism per functional module.  The multi-task row shows the
+memory gap: intra-module partitioning cannot share across tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.distmm import distmm_latency
+from repro.baselines.megatron import megatron_multitask_latency, megatron_params
+from repro.baselines.optimus import optimus_latency
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.core.sharing import build_sharing_plan
+from repro.experiments.reporting import ExperimentTable, format_million
+from repro.experiments.runner import DEFAULT_REQUESTER
+from repro.profiles.devices import testbed_device_names
+
+#: Table XI workloads: label -> model list (multi-task rows have several).
+TABLE11_WORKLOADS: List[Tuple[str, List[str]]] = [
+    ("VQA", ["flint-v0.5-1b"]),
+    ("Retrieval", ["clip-vit-b16"]),
+    ("Alignment", ["alignment-vitb16"]),
+    ("Retrieval+Alignment", ["clip-vit-b16", "alignment-vitb16"]),
+]
+
+PAPER_TABLE11: Dict[str, Dict[str, Optional[float]]] = {
+    "VQA": {"optimus": 1.57, "distmm": None, "megatron": 2.71, "s2m3": 2.71},
+    "Retrieval": {"optimus": None, "distmm": 2.48, "megatron": 3.03, "s2m3": 2.48},
+    "Alignment": {"optimus": None, "distmm": None, "megatron": 0.99, "s2m3": 0.55},
+    "Retrieval+Alignment": {"optimus": None, "distmm": None, "megatron": 3.03, "s2m3": 2.80},
+}
+
+
+@dataclass(frozen=True)
+class Table11Row:
+    workload: str
+    optimus_seconds: Optional[float]
+    distmm_seconds: Optional[float]
+    megatron_seconds: Optional[float]
+    s2m3_seconds: float
+    megatron_params: int
+    s2m3_params: int
+
+
+def _s2m3(models: List[str]) -> Tuple[float, int]:
+    cluster = build_testbed(testbed_device_names(), requester=DEFAULT_REQUESTER)
+    engine = S2M3Engine(cluster, models)
+    report = engine.deploy()
+    result = engine.serve([engine.request(name) for name in models])
+    return result.max_latency, report.total_params
+
+
+def run_table11() -> List[Table11Row]:
+    devices = testbed_device_names()
+    rows = []
+    for label, models in TABLE11_WORKLOADS:
+        optimus = distmm = None
+        if label == "VQA":
+            optimus = optimus_latency(models[0], devices, DEFAULT_REQUESTER)
+        if label == "Retrieval":
+            distmm = distmm_latency(models[0], devices, DEFAULT_REQUESTER)
+        megatron = megatron_multitask_latency(models, devices, DEFAULT_REQUESTER)
+        s2m3_latency, s2m3_total = _s2m3(models)
+        rows.append(
+            Table11Row(
+                workload=label,
+                optimus_seconds=optimus,
+                distmm_seconds=distmm,
+                megatron_seconds=megatron,
+                s2m3_seconds=s2m3_latency,
+                megatron_params=megatron_params(models),
+                s2m3_params=build_sharing_plan(models).shared_params,
+            )
+        )
+    return rows
+
+
+def render_table11(rows: Optional[List[Table11Row]] = None) -> ExperimentTable:
+    rows = rows if rows is not None else run_table11()
+    table = ExperimentTable(
+        title="Table XI: comparison to baselines (5-device testbed)",
+        headers=[
+            "workload", "Optimus(s)", "DistMM(s)", "Megatron(s)", "S2M3(s)",
+            "Mega #param", "S2M3 #param",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row.workload,
+            row.optimus_seconds,
+            row.distmm_seconds,
+            row.megatron_seconds,
+            row.s2m3_seconds,
+            format_million(row.megatron_params),
+            format_million(row.s2m3_params),
+        )
+    table.add_note("Optimus/DistMM are estimated ideals (paper footnote 3); "
+                   "'–' = baseline not applicable to the task")
+    return table

@@ -1,0 +1,110 @@
+"""Table VI: deployment cost and latency across architectures.
+
+For each evaluated architecture: centralized vs. S2M3 per-device parameter
+cost (the split saving), and inference time for Centralized-Cloud (GPU
+server over the MAN), Centralized-Local (the requesting Jetson; "–" when the
+monolith does not fit), and S2M3 on the four edge devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.centralized import centralized_inference
+from repro.core.splitter import split_model
+from repro.experiments.reporting import ExperimentTable, format_million, relative_saving
+from repro.experiments.runner import DEFAULT_REQUESTER, s2m3_single_request_latency
+
+#: Architectures evaluated in Table VI, in the paper's row order.
+TABLE6_MODELS: List[str] = [
+    "clip-rn50",
+    "clip-rn101",
+    "clip-rn50x4",
+    "clip-rn50x16",
+    "clip-rn50x64",
+    "clip-vit-b32",
+    "clip-vit-b16",
+    "clip-vit-l14",
+    "clip-vit-l14-336",
+    "encoder-vqa-small",
+    "encoder-vqa-large",
+    "imagebind",
+]
+
+#: Paper-reported values for EXPERIMENTS.md (inference seconds).
+PAPER_TABLE6: Dict[str, Dict[str, Optional[float]]] = {
+    "clip-rn50": {"cloud": 2.73, "local": 53.23, "s2m3": 2.32},
+    "clip-rn101": {"cloud": 2.63, "local": 48.87, "s2m3": 2.39},
+    "clip-rn50x4": {"cloud": 2.64, "local": 64.54, "s2m3": 3.07},
+    "clip-rn50x16": {"cloud": 2.65, "local": None, "s2m3": 4.56},
+    "clip-rn50x64": {"cloud": 2.92, "local": None, "s2m3": 6.50},
+    "clip-vit-b32": {"cloud": 2.42, "local": 44.26, "s2m3": 2.49},
+    "clip-vit-b16": {"cloud": 2.44, "local": 45.19, "s2m3": 2.48},
+    "clip-vit-l14": {"cloud": 2.61, "local": None, "s2m3": 4.46},
+    "clip-vit-l14-336": {"cloud": 2.65, "local": None, "s2m3": 4.51},
+    "encoder-vqa-small": {"cloud": 1.23, "local": 6.28, "s2m3": 0.50},
+    "encoder-vqa-large": {"cloud": 1.50, "local": None, "s2m3": 1.23},
+    "imagebind": {"cloud": 2.44, "local": None, "s2m3": 2.34},
+}
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    model: str
+    centralized_params: int
+    s2m3_params: int
+    saving_percent: float
+    cloud_seconds: float
+    local_seconds: Optional[float]
+    s2m3_seconds: float
+
+
+def run_table6(models: Optional[List[str]] = None) -> List[Table6Row]:
+    """Compute every Table VI row."""
+    rows = []
+    for name in models if models is not None else TABLE6_MODELS:
+        split = split_model(name)
+        cloud = centralized_inference(name, "server", DEFAULT_REQUESTER)
+        local = centralized_inference(name, DEFAULT_REQUESTER, DEFAULT_REQUESTER)
+        s2m3 = s2m3_single_request_latency(name)
+        rows.append(
+            Table6Row(
+                model=name,
+                centralized_params=split.total_params,
+                s2m3_params=split.max_module_params,
+                saving_percent=relative_saving(split.total_params, split.max_module_params),
+                cloud_seconds=cloud.inference_seconds,
+                local_seconds=local.inference_seconds,
+                s2m3_seconds=s2m3,
+            )
+        )
+    return rows
+
+
+def render_table6(rows: Optional[List[Table6Row]] = None) -> ExperimentTable:
+    """Render Table VI with paper-reported values alongside."""
+    rows = rows if rows is not None else run_table6()
+    table = ExperimentTable(
+        title="Table VI: deployment cost and inference latency per architecture",
+        headers=[
+            "model", "central #param", "S2M3 #param", "saving%",
+            "cloud(s)", "paper", "local(s)", "paper", "S2M3(s)", "paper",
+        ],
+    )
+    for row in rows:
+        paper = PAPER_TABLE6.get(row.model, {})
+        table.add_row(
+            row.model,
+            format_million(row.centralized_params),
+            format_million(row.s2m3_params),
+            f"-{row.saving_percent:.0f}%",
+            row.cloud_seconds,
+            paper.get("cloud"),
+            row.local_seconds,
+            paper.get("local"),
+            row.s2m3_seconds,
+            paper.get("s2m3"),
+        )
+    table.add_note("'–' = monolith does not fit the device (paper's dash cells)")
+    return table

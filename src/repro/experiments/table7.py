@@ -1,0 +1,89 @@
+"""Table VII: per-device deployment comparison for CLIP ViT-B/16.
+
+Centralized inference on each testbed device (inference + end-to-end with
+model loading) against S2M3 on the edge cluster, with and without parallel
+processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.centralized import centralized_inference
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.experiments.reporting import ExperimentTable, format_million
+from repro.experiments.runner import DEFAULT_REQUESTER
+from repro.profiles.devices import edge_device_names
+
+MODEL = "clip-vit-b16"
+
+#: Paper-reported (inference, end-to-end) per row.
+PAPER_TABLE7: Dict[str, Tuple[float, float]] = {
+    "server": (2.44, 13.53),
+    "server-cpu": (6.70, 17.78),
+    "desktop": (3.46, 4.95),
+    "laptop": (3.02, 5.31),
+    "jetson-a": (45.19, 60.37),
+    "s2m3": (2.48, 4.76),
+    "s2m3-no-parallel": (3.03, 5.32),
+}
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    deployment: str
+    params: int
+    inference_seconds: float
+    end_to_end_seconds: float
+
+
+def _s2m3_row(parallel: bool) -> Table7Row:
+    cluster = build_testbed(edge_device_names(), requester=DEFAULT_REQUESTER)
+    engine = S2M3Engine(cluster, [MODEL], parallel=parallel)
+    report = engine.deploy()
+    result = engine.serve([engine.request(MODEL)])
+    latency = result.outcomes[0].latency
+    return Table7Row(
+        deployment="s2m3" if parallel else "s2m3-no-parallel",
+        params=report.max_device_params,
+        inference_seconds=latency,
+        end_to_end_seconds=latency + report.load_seconds,
+    )
+
+
+def run_table7() -> List[Table7Row]:
+    rows = []
+    for device in ["server", "server-cpu", "desktop", "laptop", "jetson-a"]:
+        result = centralized_inference(MODEL, device, DEFAULT_REQUESTER)
+        rows.append(
+            Table7Row(
+                deployment=device,
+                params=result.total_params,
+                inference_seconds=result.inference_seconds,
+                end_to_end_seconds=result.end_to_end_seconds,
+            )
+        )
+    rows.append(_s2m3_row(parallel=True))
+    rows.append(_s2m3_row(parallel=False))
+    return rows
+
+
+def render_table7(rows: Optional[List[Table7Row]] = None) -> ExperimentTable:
+    rows = rows if rows is not None else run_table7()
+    table = ExperimentTable(
+        title="Table VII: CLIP ViT-B/16 deployment cost and latency",
+        headers=["deployment", "#param", "inference(s)", "paper", "end-to-end(s)", "paper"],
+    )
+    for row in rows:
+        paper = PAPER_TABLE7.get(row.deployment, (None, None))
+        table.add_row(
+            row.deployment,
+            format_million(row.params),
+            row.inference_seconds,
+            paper[0],
+            row.end_to_end_seconds,
+            paper[1],
+        )
+    return table

@@ -1,0 +1,112 @@
+"""Table VIII: zero-shot accuracy under S2M3 vs. reported.
+
+The paper's claim: splitting changes nothing about the computation, so
+accuracy is preserved (small deltas in the paper are runtime variability).
+We run each (model, benchmark) pair through BOTH pipelines; "S2M3" is the
+split pipeline, "centralized" stands in for the reported number, and the
+two must agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.reporting import ExperimentTable
+from repro.models.evaluate import evaluate
+from repro.models.zoo import DEFAULT_ZOO, ModelZoo
+
+#: The paper's Table VIII matrix.
+TABLE8_PAIRS: List[Tuple[str, str]] = [
+    ("clip-vit-b16", "food-101"),
+    ("clip-vit-b16", "cifar-10"),
+    ("clip-vit-b16", "cifar-100"),
+    ("clip-vit-b16", "country-211"),
+    ("clip-vit-b16", "flowers-102"),
+    ("clip-vit-l14-336", "food-101"),
+    ("clip-vit-l14-336", "cifar-10"),
+    ("clip-vit-l14-336", "cifar-100"),
+    ("clip-vit-l14-336", "country-211"),
+    ("clip-vit-l14-336", "flowers-102"),
+    ("flint-v0.5-1b", "vqa-v2"),
+    ("flint-v0.5-1b", "science-qa"),
+    ("flint-v0.5-1b", "text-vqa"),
+    ("llava-v1.5-7b", "vqa-v2"),
+    ("llava-v1.5-7b", "science-qa"),
+    ("llava-v1.5-7b", "text-vqa"),
+]
+
+#: Paper-reported accuracies (S2M3 column of Table VIII), percent.
+PAPER_TABLE8: Dict[Tuple[str, str], float] = {
+    ("clip-vit-b16", "food-101"): 87.7,
+    ("clip-vit-b16", "cifar-10"): 90.8,
+    ("clip-vit-b16", "cifar-100"): 66.9,
+    ("clip-vit-b16", "country-211"): 22.4,
+    ("clip-vit-b16", "flowers-102"): 71.0,
+    ("clip-vit-l14-336", "food-101"): 93.2,
+    ("clip-vit-l14-336", "cifar-10"): 94.9,
+    ("clip-vit-l14-336", "cifar-100"): 74.3,
+    ("clip-vit-l14-336", "country-211"): 33.9,
+    ("clip-vit-l14-336", "flowers-102"): 77.1,
+    ("flint-v0.5-1b", "vqa-v2"): 70.2,
+    ("flint-v0.5-1b", "science-qa"): 41.2,
+    ("flint-v0.5-1b", "text-vqa"): 35.6,
+    ("llava-v1.5-7b", "vqa-v2"): 78.1,
+    ("llava-v1.5-7b", "science-qa"): 69.4,
+    ("llava-v1.5-7b", "text-vqa"): 57.3,
+}
+
+
+@dataclass(frozen=True)
+class Table8Row:
+    model: str
+    benchmark: str
+    split_accuracy: float
+    centralized_accuracy: float
+    paper_accuracy: Optional[float]
+
+    @property
+    def split_matches_centralized(self) -> bool:
+        """The reproduction's core claim: bit-identical accuracy."""
+        return self.split_accuracy == self.centralized_accuracy
+
+
+def run_table8(
+    samples: int = 120,
+    pairs: Optional[List[Tuple[str, str]]] = None,
+    zoo: Optional[ModelZoo] = None,
+) -> List[Table8Row]:
+    zoo = zoo if zoo is not None else DEFAULT_ZOO
+    rows = []
+    for model, benchmark in pairs if pairs is not None else TABLE8_PAIRS:
+        split_result = evaluate(model, benchmark, samples=samples, split=True, zoo=zoo)
+        central_result = evaluate(model, benchmark, samples=samples, split=False, zoo=zoo)
+        rows.append(
+            Table8Row(
+                model=model,
+                benchmark=benchmark,
+                split_accuracy=split_result.accuracy,
+                centralized_accuracy=central_result.accuracy,
+                paper_accuracy=PAPER_TABLE8.get((model, benchmark)),
+            )
+        )
+    return rows
+
+
+def render_table8(rows: Optional[List[Table8Row]] = None, samples: int = 120) -> ExperimentTable:
+    rows = rows if rows is not None else run_table8(samples=samples)
+    table = ExperimentTable(
+        title="Table VIII: zero-shot accuracy, S2M3 (split) vs centralized vs paper",
+        headers=["model", "benchmark", "S2M3 %", "centralized %", "paper %", "split==central"],
+    )
+    for row in rows:
+        table.add_row(
+            row.model,
+            row.benchmark,
+            100 * row.split_accuracy,
+            100 * row.centralized_accuracy,
+            row.paper_accuracy,
+            "yes" if row.split_matches_centralized else "NO",
+        )
+    table.add_note("split and centralized must agree exactly (same modules, lossless transport)")
+    return table

@@ -1,0 +1,88 @@
+"""Table IX: device-availability ablation for CLIP ViT-B/16.
+
+Varies which devices participate.  The headline: with only edge devices
+S2M3 matches the cloud; adding the GPU server to the S2M3 pool *beats* the
+cloud, because S2M3 gets both the fast hardware and parallel modalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.centralized import centralized_inference
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.experiments.reporting import ExperimentTable, format_million
+from repro.experiments.runner import DEFAULT_REQUESTER
+
+MODEL = "clip-vit-b16"
+
+#: (label, centralized?, device subset). Requester jetson-a always present.
+TABLE9_CONFIGS: List[Tuple[str, bool, Sequence[str]]] = [
+    ("centralized server", True, ["server"]),
+    ("centralized jetson", True, ["jetson-a"]),
+    ("s2m3 two jetsons", False, ["jetson-b", "jetson-a"]),
+    ("s2m3 D+L", False, ["desktop", "laptop", "jetson-a"]),
+    ("s2m3 D+L+J-B", False, ["desktop", "laptop", "jetson-b", "jetson-a"]),
+    ("s2m3 +server", False, ["server", "desktop", "laptop", "jetson-b", "jetson-a"]),
+]
+
+PAPER_TABLE9: Dict[str, float] = {
+    "centralized server": 2.44,
+    "centralized jetson": 45.19,
+    "s2m3 two jetsons": 42.70,
+    "s2m3 D+L": 2.49,
+    "s2m3 D+L+J-B": 2.48,
+    "s2m3 +server": 1.74,
+}
+
+
+@dataclass(frozen=True)
+class Table9Row:
+    label: str
+    latency_seconds: Optional[float]
+    max_device_params: int
+    paper_seconds: Optional[float]
+
+
+def run_table9() -> List[Table9Row]:
+    rows = []
+    for label, is_centralized, devices in TABLE9_CONFIGS:
+        if is_centralized:
+            result = centralized_inference(MODEL, devices[0], DEFAULT_REQUESTER)
+            rows.append(
+                Table9Row(
+                    label=label,
+                    latency_seconds=result.inference_seconds,
+                    max_device_params=result.total_params,
+                    paper_seconds=PAPER_TABLE9.get(label),
+                )
+            )
+            continue
+        cluster = build_testbed(list(devices), requester=DEFAULT_REQUESTER)
+        engine = S2M3Engine(cluster, [MODEL])
+        report = engine.deploy()
+        result = engine.serve([engine.request(MODEL)])
+        rows.append(
+            Table9Row(
+                label=label,
+                latency_seconds=result.outcomes[0].latency,
+                max_device_params=report.max_device_params,
+                paper_seconds=PAPER_TABLE9.get(label),
+            )
+        )
+    return rows
+
+
+def render_table9(rows: Optional[List[Table9Row]] = None) -> ExperimentTable:
+    rows = rows if rows is not None else run_table9()
+    table = ExperimentTable(
+        title="Table IX: device availability (CLIP ViT-B/16, requester Jetson A)",
+        headers=["configuration", "latency(s)", "paper", "max #param/device"],
+    )
+    for row in rows:
+        table.add_row(
+            row.label, row.latency_seconds, row.paper_seconds, format_million(row.max_device_params)
+        )
+    return table

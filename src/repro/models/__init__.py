@@ -1,0 +1,33 @@
+"""Executable model substrate: tiny numpy networks standing in for the
+paper's PyTorch checkpoints.
+
+The S2M3 algorithms only need module identities, sizes and compute costs —
+but the paper's accuracy claim (Table VIII: split inference does not change
+accuracy) is a property of an actual forward pass.  This package provides
+real, deterministic forward passes:
+
+- :mod:`repro.models.layers` — numpy layers (linear, layer-norm, attention,
+  transformer blocks, convolutions).
+- :mod:`repro.models.vision` / :mod:`text` / :mod:`audio` — tiny modality
+  encoders whose capacity scales with the catalogued module's size.
+- :mod:`repro.models.lm` — a tiny answer-generating language-model head.
+- :mod:`repro.models.heads` — cosine-similarity, InfoNCE and classifier heads.
+- :mod:`repro.models.weights` — deterministic pseudo-pretraining: backbones
+  are seeded from the module name; output projections are *calibrated* by
+  ridge regression against the shared latent-concept space, which is what
+  makes the tiny models genuinely accurate on the synthetic benchmarks.
+- :mod:`repro.models.zoo` — builds executable modules/models from catalog
+  specs (cached per module identity, so sharing is real at this level too).
+- :mod:`repro.models.pipeline` — centralized vs. split execution paths that
+  must produce bit-identical outputs.
+"""
+
+from repro.models.pipeline import CentralizedPipeline, SplitPipeline
+from repro.models.zoo import ExecutableModel, ModelZoo
+
+__all__ = [
+    "CentralizedPipeline",
+    "SplitPipeline",
+    "ExecutableModel",
+    "ModelZoo",
+]

@@ -1,0 +1,45 @@
+"""Tiny audio encoder: clip vector -> token grid -> transformer -> pool."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.latent import AUDIO_DIM
+from repro.models.layers import Linear, TransformerBlock, sinusoidal_positions
+from repro.models.weights import ridge_apply
+from repro.utils.seeding import rng_for
+
+#: The clip vector is reshaped into this many "spectrogram frame" tokens.
+AUDIO_TOKENS = 16
+
+
+class TinyAudioEncoder:
+    """Encodes an :data:`AUDIO_DIM`-vector clip into the shared latent space."""
+
+    def __init__(self, name: str, dim: int, depth: int, heads: int = 4) -> None:
+        if AUDIO_DIM % AUDIO_TOKENS != 0:
+            raise ValueError("AUDIO_DIM must be divisible by AUDIO_TOKENS")
+        self.name = name
+        self.dim = dim
+        rng = rng_for("audio-backbone", name)
+        frame = AUDIO_DIM // AUDIO_TOKENS
+        self.embed = Linear.init(rng, frame, dim)
+        self.positions = sinusoidal_positions(AUDIO_TOKENS, dim)
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock.init(rng, dim, heads) for _ in range(depth)
+        ]
+        self.projection: Optional[np.ndarray] = None
+
+    def features(self, clip: np.ndarray) -> np.ndarray:
+        frames = clip.reshape(AUDIO_TOKENS, -1)
+        tokens = self.embed(frames) + self.positions
+        for block in self.blocks:
+            tokens = block(tokens)
+        return tokens.mean(axis=0)
+
+    def __call__(self, clip: np.ndarray) -> np.ndarray:
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply(self.projection, self.features(clip))

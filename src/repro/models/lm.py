@@ -1,0 +1,104 @@
+"""Tiny language-model task head for decoder-only VQA and captioning.
+
+The LM receives the vision embedding as a projected *prefix token* plus the
+question's tokens, runs a causal transformer, and reads out a refined latent
+(calibrated like the encoders).  Answering is candidate ranking — standard
+for VQA evaluation — against the benchmark's answer-vocabulary latents, and
+the chosen answer is *emitted* as its token sequence (deterministic greedy
+decoding through the shared codebook).
+
+LM capacity (width/depth, scaled from the checkpoint's parameter count)
+controls how faithfully the latent survives the pass — which is why
+Vicuna-7B outscores TinyLlama on the synthetic VQA benchmarks just as in
+Table VIII.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.latent import LATENT_DIM, VOCAB_SIZE
+from repro.models.layers import Linear, TransformerBlock, sinusoidal_positions
+from repro.models.weights import CALIBRATION_SAMPLES, ridge_apply, ridge_fit
+from repro.utils.seeding import rng_for
+
+
+class TinyAnswerLM:
+    """Prefix-conditioned causal transformer with a calibrated latent readout."""
+
+    def __init__(self, name: str, dim: int, depth: int, heads: int = 4) -> None:
+        self.name = name
+        self.dim = dim
+        rng = rng_for("lm-backbone", name)
+        self.prefix_proj = Linear.init(rng, LATENT_DIM, dim)
+        self.token_table = rng.normal(0.0, 1.0 / np.sqrt(dim), size=(VOCAB_SIZE, dim))
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock.init(rng, dim, heads) for _ in range(depth)
+        ]
+        self.readout: Optional[np.ndarray] = None  # fitted by calibrate()
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def hidden(self, vision_latent: np.ndarray, question_tokens: np.ndarray) -> np.ndarray:
+        """Final hidden state (last position) of the causal pass."""
+        prefix = self.prefix_proj(vision_latent)[None, :]
+        tokens = self.token_table[np.asarray(question_tokens, dtype=int)]
+        sequence = np.vstack([prefix, tokens])
+        sequence = sequence + sinusoidal_positions(sequence.shape[0], self.dim)
+        for block in self.blocks:
+            sequence = block(sequence, causal=True)
+        return sequence[-1]
+
+    def refined_latent(self, vision_latent: np.ndarray, question_tokens: np.ndarray) -> np.ndarray:
+        """The LM's belief about the image concept after reading the question."""
+        if self.readout is None:
+            raise RuntimeError(f"LM {self.name!r} is not calibrated")
+        return ridge_apply(self.readout, self.hidden(vision_latent, question_tokens))
+
+    def answer(
+        self,
+        vision_latent: np.ndarray,
+        question_tokens: np.ndarray,
+        answer_latents: np.ndarray,
+    ) -> int:
+        """Rank the answer vocabulary; returns the winning answer index."""
+        refined = self.refined_latent(vision_latent, question_tokens)
+        norms = np.linalg.norm(answer_latents, axis=1) * (np.linalg.norm(refined) + 1e-12)
+        scores = answer_latents @ refined / (norms + 1e-12)
+        return int(np.argmax(scores))
+
+    def generate(
+        self,
+        vision_latent: np.ndarray,
+        question_tokens: np.ndarray,
+        answer_latents: np.ndarray,
+        verbalize,
+    ) -> np.ndarray:
+        """Emit the chosen answer's token sequence (greedy decoding)."""
+        choice = self.answer(vision_latent, question_tokens, answer_latents)
+        return verbalize(answer_latents[choice])
+
+    # ------------------------------------------------------------------
+    # Calibration (pseudo-pretraining)
+    # ------------------------------------------------------------------
+    def calibrate(self, samples: int = CALIBRATION_SAMPLES // 2) -> None:
+        """Fit the readout so the hidden state recovers the prefix latent.
+
+        Training pairs are (noisy latent prefix + random question) -> clean
+        latent, drawn deterministically from the LM's name — benchmark
+        classes are never seen.
+        """
+        rng = rng_for("lm-calibration", self.name)
+        latents = rng.normal(0.0, 1.0, size=(samples, LATENT_DIM))
+        latents /= np.linalg.norm(latents, axis=1, keepdims=True)
+        hidden_rows = []
+        for latent in latents:
+            # Light prefix jitter regularizes the readout without flattening
+            # the fitted map (heavier jitter measurably hurts recovery).
+            noisy = latent + rng.normal(0.0, 0.05, size=LATENT_DIM)
+            question = rng.integers(0, VOCAB_SIZE, size=8)
+            hidden_rows.append(self.hidden(noisy, question))
+        self.readout = ridge_fit(np.stack(hidden_rows), latents)

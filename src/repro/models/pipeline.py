@@ -1,0 +1,124 @@
+"""Centralized vs. split execution paths for the executable models.
+
+Both pipelines run the *same module objects* in the same order of data
+dependencies.  The split pipeline additionally round-trips every inter-
+module embedding through a byte serialization (``tobytes``/``frombuffer``)
+— the emulated network hop.  Because IEEE-754 serialization is exact, the
+two paths are **bit-identical**, which is the mechanism behind the paper's
+Table VIII claim that S2M3 does not change accuracy (any residual deltas in
+the paper are runtime variability, not architecture).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.modules import ModuleKind
+from repro.core.tasks import Task
+from repro.models.heads import CosineSimilarityHead, InfoNCEHead, LinearClassifierHead
+from repro.models.zoo import ExecutableModel
+from repro.utils.errors import ConfigurationError
+
+
+class _BasePipeline:
+    """Shared task logic; subclasses define how embeddings travel."""
+
+    def __init__(self, model: ExecutableModel) -> None:
+        self.model = model
+
+    # -- transport hook -------------------------------------------------
+    def _ship(self, embedding: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- encoding -------------------------------------------------------
+    def embed_image(self, image: np.ndarray) -> np.ndarray:
+        encoder = self.model.encoder_of_kind(ModuleKind.VISION_ENCODER)
+        return self._ship(encoder(image))
+
+    def embed_text(self, tokens: np.ndarray) -> np.ndarray:
+        encoder = self.model.encoder_of_kind(ModuleKind.TEXT_ENCODER)
+        return self._ship(encoder(tokens))
+
+    def embed_prompt_set(self, prompts: np.ndarray) -> np.ndarray:
+        encoder = self.model.encoder_of_kind(ModuleKind.TEXT_ENCODER)
+        return self._ship(encoder.encode_prompt_set(prompts))
+
+    def embed_audio(self, clip: np.ndarray) -> np.ndarray:
+        encoder = self.model.encoder_of_kind(ModuleKind.AUDIO_ENCODER)
+        return self._ship(encoder(clip))
+
+    # -- task heads -----------------------------------------------------
+    def retrieve(self, image: np.ndarray, prompts: np.ndarray) -> int:
+        """Zero-shot image->text retrieval: winning prompt index."""
+        head = self.model.head
+        if not isinstance(head, CosineSimilarityHead):
+            raise ConfigurationError(f"{self.model.spec.name!r} is not a retrieval model")
+        return head.rank(self.embed_image(image), self.embed_prompt_set(prompts))
+
+    def answer_vqa_decoder(
+        self, image: np.ndarray, question_tokens: np.ndarray, answer_latents: np.ndarray
+    ) -> int:
+        """Decoder-only VQA: LM ranks the answer vocabulary."""
+        if self.model.spec.task is not Task.DECODER_VQA:
+            raise ConfigurationError(f"{self.model.spec.name!r} is not a decoder-VQA model")
+        return self.model.head.answer(self.embed_image(image), question_tokens, answer_latents)
+
+    def answer_vqa_encoder(self, image: np.ndarray, question_tokens: np.ndarray) -> int:
+        """Encoder-only VQA: classifier over concatenated embeddings."""
+        if self.model.spec.task is not Task.ENCODER_VQA:
+            raise ConfigurationError(f"{self.model.spec.name!r} is not an encoder-VQA model")
+        head = self.model.head
+        features = np.concatenate([self.embed_image(image), self.embed_text(question_tokens)])
+        return head.predict(features)
+
+    def vqa_features(self, image: np.ndarray, question_tokens: np.ndarray) -> np.ndarray:
+        """Feature vector the encoder-VQA classifier consumes (for fitting)."""
+        return np.concatenate([self.embed_image(image), self.embed_text(question_tokens)])
+
+    def classify(self, image: np.ndarray) -> int:
+        """Image classification through the linear-probe head."""
+        if self.model.spec.task is not Task.IMAGE_CLASSIFICATION:
+            raise ConfigurationError(f"{self.model.spec.name!r} is not a classification model")
+        head = self.model.head
+        if not isinstance(head, LinearClassifierHead):
+            raise ConfigurationError("classification head must be a linear classifier")
+        return head.predict(self.embed_image(image))
+
+    def alignment_accuracy(self, images: np.ndarray, audios: np.ndarray) -> float:
+        """Cross-modal alignment: image<->audio matching over a batch."""
+        head = self.model.head
+        if not isinstance(head, InfoNCEHead):
+            raise ConfigurationError(f"{self.model.spec.name!r} is not an alignment model")
+        image_embs = np.stack([self.embed_image(image) for image in images])
+        audio_embs = np.stack([self.embed_audio(clip) for clip in audios])
+        return head.match_accuracy(image_embs, audio_embs)
+
+    def caption(self, image: np.ndarray, answer_latents: np.ndarray, verbalize) -> np.ndarray:
+        """Image captioning: LM emits the concept's token sequence."""
+        if self.model.spec.task is not Task.IMAGE_CAPTIONING:
+            raise ConfigurationError(f"{self.model.spec.name!r} is not a captioning model")
+        empty_question = np.zeros(1, dtype=int)
+        return self.model.head.generate(
+            self.embed_image(image), empty_question, answer_latents, verbalize
+        )
+
+
+class CentralizedPipeline(_BasePipeline):
+    """All modules on one host: embeddings stay in memory."""
+
+    def _ship(self, embedding: np.ndarray) -> np.ndarray:
+        return embedding
+
+
+class SplitPipeline(_BasePipeline):
+    """Modules on different hosts: embeddings serialize over 'the network'.
+
+    Serialization round-trips through raw bytes, exactly as the paper's
+    socket transport does.  fp64 -> bytes -> fp64 is lossless, hence
+    bit-identical results.
+    """
+
+    def _ship(self, embedding: np.ndarray) -> np.ndarray:
+        payload = embedding.tobytes()
+        restored = np.frombuffer(payload, dtype=embedding.dtype).reshape(embedding.shape)
+        return restored.copy()

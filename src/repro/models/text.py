@@ -1,0 +1,77 @@
+"""Tiny text encoder: token embeddings + transformer + per-position readout.
+
+Two design points mirror real language towers:
+
+- the token-embedding table is *pretrained*: each token's first two channels
+  carry the codebook values it denotes (real embeddings likewise encode
+  token semantics), with the remaining channels random;
+- features concatenate all positions rather than mean-pooling, because the
+  synthetic codebook (like natural language) is position-sensitive — token
+  ``i`` describes latent dimensions ``2i, 2i+1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.latent import TOKENS_PER_PROMPT, VOCAB_SIZE, _TEXT_BINS
+from repro.models.layers import TransformerBlock, sinusoidal_positions
+from repro.models.weights import ridge_apply
+from repro.utils.seeding import rng_for
+
+
+def _pretrained_token_table(rng: np.random.Generator, dim: int) -> np.ndarray:
+    """Embedding table whose first two channels carry codebook values."""
+    table = rng.normal(0.0, 1.0 / np.sqrt(dim), size=(VOCAB_SIZE, dim))
+    bins = _TEXT_BINS
+    tokens = np.arange(VOCAB_SIZE)
+    centers_a = ((tokens // bins) + 0.5) / bins * 2.0 - 1.0
+    centers_b = ((tokens % bins) + 0.5) / bins * 2.0 - 1.0
+    table[:, 0] = centers_a
+    table[:, 1] = centers_b
+    return table
+
+
+class TinyTextEncoder:
+    """Encodes a token-id sequence into the shared latent space."""
+
+    def __init__(self, name: str, dim: int, depth: int, heads: int = 4) -> None:
+        self.name = name
+        self.dim = dim
+        rng = rng_for("text-backbone", name)
+        self.token_table = _pretrained_token_table(rng, dim)
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock.init(rng, dim, heads) for _ in range(depth)
+        ]
+        self.projection: Optional[np.ndarray] = None
+
+    def features(self, tokens: np.ndarray) -> np.ndarray:
+        """Backbone features for one token sequence -> (positions * dim,).
+
+        Sequences are padded/truncated to :data:`TOKENS_PER_PROMPT` so the
+        feature width (and thus the calibrated projection) is fixed.
+        """
+        ids = np.asarray(tokens, dtype=int)
+        if ids.shape[0] < TOKENS_PER_PROMPT:
+            ids = np.concatenate([ids, np.zeros(TOKENS_PER_PROMPT - ids.shape[0], dtype=int)])
+        ids = ids[:TOKENS_PER_PROMPT]
+        embedded = self.token_table[ids]
+        # Residual skip around the transformer keeps the (informative) raw
+        # embeddings visible to the linear readout.
+        hidden = embedded + sinusoidal_positions(embedded.shape[0], self.dim)
+        for block in self.blocks:
+            hidden = block(hidden)
+        combined = np.concatenate([embedded, hidden], axis=1)
+        return combined.reshape(-1)
+
+    def __call__(self, tokens: np.ndarray) -> np.ndarray:
+        """Embed one prompt into the shared latent space."""
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply(self.projection, self.features(tokens))
+
+    def encode_prompt_set(self, prompts: np.ndarray) -> np.ndarray:
+        """Embed a (num_prompts, tokens) prompt set -> (num_prompts, latent)."""
+        return np.stack([self(prompt) for prompt in prompts])

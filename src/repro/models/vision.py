@@ -1,0 +1,95 @@
+"""Tiny vision encoders: a ViT-style patch transformer and a ResNet-style CNN.
+
+Capacity (width/depth) scales with the catalogued module's parameter count,
+so larger paper checkpoints (ViT-L vs. ViT-B) genuinely embed better — the
+mechanism behind Table VIII's accuracy ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.latent import IMAGE_SHAPE
+from repro.models.layers import (
+    Conv2d,
+    Linear,
+    TransformerBlock,
+    gelu,
+    global_avg_pool,
+    relu,
+    sinusoidal_positions,
+)
+from repro.models.weights import ridge_apply
+from repro.utils.seeding import rng_for
+
+
+class TinyViTEncoder:
+    """Patchify -> linear embed -> transformer blocks -> mean pool."""
+
+    def __init__(self, name: str, dim: int, depth: int, heads: int = 4, patch: int = 8) -> None:
+        channels, height, width = IMAGE_SHAPE
+        if height % patch != 0 or width % patch != 0:
+            raise ValueError(f"patch {patch} does not tile image {IMAGE_SHAPE}")
+        self.name = name
+        self.dim = dim
+        self.patch = patch
+        rng = rng_for("vit-backbone", name)
+        patch_dim = channels * patch * patch
+        self.embed = Linear.init(rng, patch_dim, dim)
+        tokens = (height // patch) * (width // patch)
+        self.positions = sinusoidal_positions(tokens, dim)
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock.init(rng, dim, heads) for _ in range(depth)
+        ]
+        self.projection: Optional[np.ndarray] = None  # set by calibration
+
+    def features(self, image: np.ndarray) -> np.ndarray:
+        """Backbone features for one (C, H, W) image -> (dim,)."""
+        channels, height, width = image.shape
+        p = self.patch
+        patches = []
+        for i in range(0, height, p):
+            for j in range(0, width, p):
+                patches.append(image[:, i:i + p, j:j + p].ravel())
+        tokens = self.embed(np.stack(patches)) + self.positions
+        for block in self.blocks:
+            tokens = block(tokens)
+        return tokens.mean(axis=0)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        """Embed one image into the shared latent space."""
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply(self.projection, self.features(image))
+
+
+class TinyResNetEncoder:
+    """A small conv stack with residual-style accumulation + global pooling."""
+
+    def __init__(self, name: str, channels: int, depth: int = 2) -> None:
+        self.name = name
+        rng = rng_for("resnet-backbone", name)
+        in_c = IMAGE_SHAPE[0]
+        self.convs: List[Conv2d] = []
+        current = in_c
+        for level in range(depth):
+            out_c = channels * (level + 1)
+            self.convs.append(Conv2d.init(rng, current, out_c, kernel=3, stride=2))
+            current = out_c
+        self.head = Linear.init(rng, current, channels * depth * 2)
+        self.dim = channels * depth * 2
+        self.projection: Optional[np.ndarray] = None
+
+    def features(self, image: np.ndarray) -> np.ndarray:
+        x = image
+        for conv in self.convs:
+            x = relu(conv(x))
+        pooled = global_avg_pool(x)
+        return gelu(self.head(pooled))
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply(self.projection, self.features(image))

@@ -1,0 +1,79 @@
+"""Deterministic pseudo-pretraining for the tiny numpy modules.
+
+Backbones are randomly initialized from the module's *name* (stable across
+processes).  The output projection of every encoder is then *calibrated*:
+we draw random latents, render them through the shared generative model of
+:mod:`repro.datasets.latent`, push the renders through the backbone, and
+solve a ridge regression from backbone features to the true latents.
+
+This mirrors what contrastive pretraining gives real CLIP towers — a map
+from raw observations into the shared embedding space — without requiring
+gradient training.  Crucially it is *benchmark-agnostic*: calibration never
+sees class prototypes, so evaluation is genuinely zero-shot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.seeding import rng_for
+
+#: Number of random latents used for calibration.
+CALIBRATION_SAMPLES = 640
+#: Ridge regularization strength.
+RIDGE_LAMBDA = 1e-3
+
+
+def ridge_fit(features: np.ndarray, targets: np.ndarray, reg: float = RIDGE_LAMBDA) -> np.ndarray:
+    """Solve ``argmin_W ||F W - Z||^2 + reg ||W||^2``; returns (F_dim+1, Z_dim).
+
+    A bias column is appended to ``features`` internally, so apply the
+    result with :func:`ridge_apply`.
+    """
+    if features.ndim != 2 or targets.ndim != 2:
+        raise ValueError("features and targets must be 2-D")
+    if features.shape[0] != targets.shape[0]:
+        raise ValueError("features and targets disagree on sample count")
+    augmented = np.hstack([features, np.ones((features.shape[0], 1))])
+    gram = augmented.T @ augmented
+    gram += reg * np.eye(gram.shape[0])
+    return np.linalg.solve(gram, augmented.T @ targets)
+
+
+def ridge_apply(weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+    """Apply a :func:`ridge_fit` solution to features (1-D or 2-D)."""
+    single = features.ndim == 1
+    if single:
+        features = features[None, :]
+    augmented = np.hstack([features, np.ones((features.shape[0], 1))])
+    out = augmented @ weights
+    return out[0] if single else out
+
+
+def calibrate_projection(
+    backbone_features: Callable[[np.ndarray], np.ndarray],
+    render: Callable[[np.ndarray], np.ndarray],
+    latent_dim: int,
+    seed_name: str,
+    samples: int = CALIBRATION_SAMPLES,
+    observation_noise: float = 0.0,
+) -> np.ndarray:
+    """Fit an encoder's output projection: features(render(z)) -> z.
+
+    ``seed_name`` makes the calibration set deterministic per module, so a
+    shared module has *identical* weights everywhere it is reused — the
+    bit-equality the sharing architecture relies on.
+    """
+    rng = rng_for("calibration", seed_name)
+    latents = rng.normal(0.0, 1.0, size=(samples, latent_dim))
+    latents /= np.linalg.norm(latents, axis=1, keepdims=True)
+    feature_rows = []
+    for latent in latents:
+        observation = render(latent)
+        if observation_noise > 0:
+            observation = observation + rng.normal(0.0, observation_noise, size=observation.shape)
+        feature_rows.append(backbone_features(observation))
+    features = np.stack(feature_rows)
+    return ridge_fit(features, latents)

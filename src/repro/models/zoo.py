@@ -1,0 +1,171 @@
+"""The model zoo: executable numpy modules built from catalog specs.
+
+Capacity (width/depth) scales with the catalogued checkpoint's parameter
+count, and executable modules are **cached by module name** — so two models
+sharing ``clip-vit-b16-vision`` get the *same object*, making the sharing
+architecture real at the numeric level: identical weights, identical
+outputs, zero marginal build cost (the paper's Insight 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.catalog import get_model, get_module
+from repro.core.models import ModelSpec
+from repro.core.modules import FAMILY_CNN, ModuleKind, ModuleSpec
+from repro.datasets.latent import LATENT_DIM, LatentConceptSpace
+from repro.models.audio import TinyAudioEncoder
+from repro.models.heads import CosineSimilarityHead, InfoNCEHead, LinearClassifierHead
+from repro.models.lm import TinyAnswerLM
+from repro.models.text import TinyTextEncoder
+from repro.models.vision import TinyResNetEncoder, TinyViTEncoder
+from repro.models.weights import calibrate_projection
+from repro.utils.errors import ConfigurationError
+
+#: Canonical space used only for its modality renders (render matrices and
+#: the text codebook are independent of the class count).
+_CANONICAL = LatentConceptSpace(num_classes=2)
+
+#: Observation noise injected during encoder calibration.  Pretraining with
+#: noise makes the encoders robust (like real training-set augmentation);
+#: without it the readout overfits the clean render and collapses under the
+#: benchmarks' sensor noise.
+_CALIBRATION_OBS_NOISE = 0.3
+
+
+def _capacity(params: int) -> Tuple[int, int]:
+    """(dim, depth) for an encoder, scaled from checkpoint parameters."""
+    millions = params / 1e6
+    if millions < 60:
+        return 32, 2
+    if millions < 100:
+        return 48, 2
+    if millions < 200:
+        return 64, 2
+    if millions < 350:
+        return 96, 2
+    return 128, 3
+
+
+def _cnn_channels(params: int) -> int:
+    millions = params / 1e6
+    if millions < 60:
+        return 12
+    if millions < 100:
+        return 16
+    if millions < 200:
+        return 24
+    return 32
+
+
+def _lm_capacity(params: int) -> Tuple[int, int]:
+    """(dim, depth) for LLM heads: bigger checkpoints refine latents better."""
+    millions = params / 1e6
+    if millions < 500:  # GPT-2 class
+        return 32, 2
+    if millions < 2_000:  # TinyLlama class
+        return 48, 2
+    if millions < 5_000:  # Phi-3-Mini class
+        return 64, 2
+    if millions < 10_000:  # 7B class
+        return 96, 2
+    return 128, 3  # 13B class
+
+
+class ModelZoo:
+    """Builds (and caches) executable modules and bundles them into models."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, object] = {}
+
+    def module(self, module: "ModuleSpec | str"):
+        """The executable for a catalog module; cached by name (= shared)."""
+        spec = get_module(module) if isinstance(module, str) else module
+        if spec.name in self._cache:
+            return self._cache[spec.name]
+        built = self._build(spec)
+        self._cache[spec.name] = built
+        return built
+
+    def _build(self, spec: ModuleSpec):
+        kind = spec.kind
+        if kind is ModuleKind.VISION_ENCODER:
+            if spec.family == FAMILY_CNN:
+                encoder = TinyResNetEncoder(spec.name, channels=_cnn_channels(spec.params))
+            else:
+                dim, depth = _capacity(spec.params)
+                encoder = TinyViTEncoder(spec.name, dim=dim, depth=depth)
+            encoder.projection = calibrate_projection(
+                encoder.features,
+                _CANONICAL.render_image,
+                LATENT_DIM,
+                seed_name=spec.name,
+                observation_noise=_CALIBRATION_OBS_NOISE,
+            )
+            return encoder
+        if kind is ModuleKind.TEXT_ENCODER:
+            dim, depth = _capacity(spec.params)
+            encoder = TinyTextEncoder(spec.name, dim=dim, depth=depth)
+            encoder.projection = calibrate_projection(
+                encoder.features,
+                _CANONICAL.tokens_from_latent,
+                LATENT_DIM,
+                seed_name=spec.name,
+            )
+            return encoder
+        if kind is ModuleKind.AUDIO_ENCODER:
+            dim, depth = _capacity(spec.params)
+            encoder = TinyAudioEncoder(spec.name, dim=dim, depth=depth)
+            encoder.projection = calibrate_projection(
+                encoder.features,
+                _CANONICAL.render_audio,
+                LATENT_DIM,
+                seed_name=spec.name,
+                observation_noise=_CALIBRATION_OBS_NOISE,
+            )
+            return encoder
+        if kind is ModuleKind.LANGUAGE_MODEL:
+            dim, depth = _lm_capacity(spec.params)
+            lm = TinyAnswerLM(spec.name, dim=dim, depth=depth)
+            lm.calibrate()
+            return lm
+        if kind is ModuleKind.DISTANCE:
+            return InfoNCEHead() if spec.name == "infonce" else CosineSimilarityHead()
+        if kind is ModuleKind.CLASSIFIER:
+            return LinearClassifierHead(spec.name)
+        raise ConfigurationError(f"no executable builder for module kind {kind!r}")
+
+    def model(self, model: "ModelSpec | str") -> "ExecutableModel":
+        """Bundle a catalog model's modules into an executable model."""
+        spec = get_model(model) if isinstance(model, str) else model
+        modules = {name: self.module(name) for name in spec.module_names}
+        return ExecutableModel(spec=spec, modules=modules, zoo=self)
+
+
+@dataclass
+class ExecutableModel:
+    """A model spec plus its live executable modules."""
+
+    spec: ModelSpec
+    modules: Dict[str, object]
+    zoo: ModelZoo
+
+    @property
+    def encoders(self) -> Dict[str, object]:
+        return {name: self.modules[name] for name in self.spec.encoders}
+
+    @property
+    def head(self):
+        return self.modules[self.spec.head]
+
+    def encoder_of_kind(self, kind: ModuleKind):
+        """The (single) encoder of a given kind, e.g. the vision tower."""
+        for name in self.spec.encoders:
+            if get_module(name).kind is kind:
+                return self.modules[name]
+        raise ConfigurationError(f"model {self.spec.name!r} has no {kind.value}")
+
+#: A process-wide default zoo (building encoders is cheap but not free).
+DEFAULT_ZOO = ModelZoo()

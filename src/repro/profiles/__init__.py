@@ -1,0 +1,31 @@
+"""Calibrated hardware and network profiles for the paper's testbed.
+
+- :mod:`repro.profiles.devices` — the five devices of Table III, with
+  compute throughputs fitted to the paper's measured module times.
+- :mod:`repro.profiles.communication` — PAN/MAN link profiles.
+- :mod:`repro.profiles.compute` — the (module, device) compute-time model.
+- :mod:`repro.profiles.calibration` — the anchor measurements used to fit
+  throughputs, kept as data for the calibration tests.
+"""
+
+from repro.profiles.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.profiles.devices import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    edge_device_names,
+    get_device_profile,
+    testbed_device_names,
+)
+from repro.profiles.communication import LINK_PROFILES, LinkProfile
+
+__all__ = [
+    "ComputeModel",
+    "DEFAULT_COMPUTE_MODEL",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "edge_device_names",
+    "get_device_profile",
+    "testbed_device_names",
+    "LINK_PROFILES",
+    "LinkProfile",
+]

@@ -1,0 +1,65 @@
+"""The (module, device) compute-time model ``t^comp_{m,n}``.
+
+:class:`ComputeModel` is the single authority both the planner (Algorithm 1
+uses ``t^comp`` in Eqs. 5-7) and the discrete-event executor consult, so the
+plan and the simulation agree by construction.
+
+Batch scaling follows the paper's footnote 4 (LLaVA-Next-7B: batch sizes
+1/10/20 take 1.28/4.90/9.16 s): near-linear with a fixed setup cost, i.e.
+``t(b) = setup + b * marginal`` with ``setup ≈ 0.8 * t(1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.models import ModelSpec
+from repro.core.modules import ModuleSpec
+from repro.profiles.devices import DeviceProfile
+
+#: Fraction of the single-request time that is per-batch setup rather than
+#: per-item marginal cost (fitted to footnote 4: 1.28 -> 4.90 -> 9.16 s gives
+#: a marginal of ~0.41 s/item on a 1.28 s single request).
+BATCH_SETUP_FRACTION = 0.68
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Computes per-module service times on devices.
+
+    ``work_scale`` reflects the requesting *model*: a shared text encoder
+    does a full prompt-set for retrieval but a single question for VQA
+    (see :attr:`repro.core.models.ModelSpec.work_scale`).
+    """
+
+    batch_setup_fraction: float = BATCH_SETUP_FRACTION
+
+    def seconds(
+        self,
+        module: ModuleSpec,
+        device: DeviceProfile,
+        model: Optional[ModelSpec] = None,
+        batch_size: int = 1,
+    ) -> float:
+        """Service time for ``batch_size`` requests of ``model`` on ``module``."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        scale = model.scale_for(module.name) if model is not None else 1.0
+        single = device.compute_seconds(module, work_scale=scale)
+        if batch_size == 1:
+            return single
+        setup = self.batch_setup_fraction * single
+        marginal = single - setup
+        return setup + batch_size * marginal
+
+    def fits(self, module: ModuleSpec, device: DeviceProfile) -> bool:
+        """Whether the module's weights fit in the device's usable memory."""
+        return module.memory_bytes <= device.memory_bytes
+
+    def load_seconds(self, module: ModuleSpec, device: DeviceProfile) -> float:
+        """Model-loading time (the Table VII end-to-end component)."""
+        return device.load_seconds(module)
+
+
+DEFAULT_COMPUTE_MODEL = ComputeModel()

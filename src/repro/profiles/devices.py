@@ -1,0 +1,191 @@
+"""Device profiles for the paper's testbed (Table III).
+
+Each profile carries:
+
+- usable memory for model weights (``memory_bytes``): total RAM/VRAM minus
+  the OS/runtime reserve.  This is what makes the paper's "–" cells emerge:
+  the 4 GB Jetson Nano cannot host monoliths above ~200M fp16 parameters.
+- per-(kind, family) compute throughput in work-units/s, **fitted to the
+  paper's measurements** (see :mod:`repro.profiles.calibration`), e.g. the
+  CLIP text-prompt-set encode takes ~2 s on the laptop but ~43 s on a Jetson
+  (footnote 2), and a full ViT-B/16 retrieval pass takes 45.19 s locally on
+  the Jetson (Table VII).
+- model-loading throughput (bytes/s), fitted to the end-to-end column of
+  Table VII (e.g. the P40 server takes 11.08 s to load CLIP ViT-B/16,
+  footnote 1).
+- ``parallel_slots``: how many modules the device can execute concurrently.
+  The GPU server can overlap independent encoder streams; CPU-class edge
+  devices serialize module executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.modules import (
+    FAMILY_CNN,
+    FAMILY_TRANSFORMER,
+    ModuleKind,
+    ModuleSpec,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB, MB
+
+#: Throughput table keys: (ModuleKind, family). A ``family`` of "*" is the
+#: fallback for the kind.
+ThroughputKey = Tuple[ModuleKind, str]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static hardware description of one testbed device."""
+
+    name: str
+    description: str
+    memory_bytes: int
+    throughput: Mapping[ThroughputKey, float]
+    load_throughput_bps: float
+    parallel_slots: int = 1
+    is_cloud: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(f"device {self.name!r}: memory must be positive")
+        if self.parallel_slots < 1:
+            raise ConfigurationError(f"device {self.name!r}: parallel_slots must be >= 1")
+        object.__setattr__(self, "throughput", MappingProxyType(dict(self.throughput)))
+
+    def throughput_for(self, module: ModuleSpec) -> float:
+        """Work-units/s this device sustains for ``module``."""
+        key = (module.kind, module.family)
+        if key in self.throughput:
+            return self.throughput[key]
+        fallback = (module.kind, "*")
+        if fallback in self.throughput:
+            return self.throughput[fallback]
+        raise ConfigurationError(
+            f"device {self.name!r} has no throughput entry for kind={module.kind.value}"
+        )
+
+    def compute_seconds(self, module: ModuleSpec, work_scale: float = 1.0) -> float:
+        """Pure compute time ``t^comp_{m,n}`` for one request on this device."""
+        throughput = self.throughput_for(module)
+        if throughput <= 0:
+            raise ConfigurationError(f"device {self.name!r}: non-positive throughput")
+        return module.work * work_scale / throughput
+
+    def load_seconds(self, module: ModuleSpec) -> float:
+        """Time to load ``module``'s weights into memory on this device."""
+        if module.memory_bytes == 0:
+            return 0.0
+        return module.memory_bytes / self.load_throughput_bps
+
+
+def _tp(
+    vit: float,
+    cnn: float,
+    text: float,
+    audio: float,
+    llm: float,
+    head: float,
+) -> Dict[ThroughputKey, float]:
+    """Build a throughput table from the six calibrated rates."""
+    return {
+        (ModuleKind.VISION_ENCODER, FAMILY_TRANSFORMER): vit,
+        (ModuleKind.VISION_ENCODER, FAMILY_CNN): cnn,
+        (ModuleKind.TEXT_ENCODER, "*"): text,
+        (ModuleKind.AUDIO_ENCODER, "*"): audio,
+        (ModuleKind.LANGUAGE_MODEL, "*"): llm,
+        (ModuleKind.DISTANCE, "*"): head,
+        (ModuleKind.CLASSIFIER, "*"): head,
+    }
+
+
+#: The five testbed devices.  Memory: usable fp16 weight budget (Table III
+#: RAM/VRAM minus OS + runtime reserve; Jetson's 4.1 GB leaves ~400 MB for
+#: weights once L4T, CUDA runtime and activations are accounted for — this
+#: reproduces which monoliths the paper marks "–" on the Jetson).
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    profile.name: profile
+    for profile in [
+        DeviceProfile(
+            name="server",
+            description="Intel Xeon Gold 5115 + Tesla P40 (cloud, MAN)",
+            memory_bytes=int(22.0 * GB),
+            throughput=_tp(vit=190.0, cnn=150.0, text=40.0, audio=100.0, llm=70.0, head=5000.0),
+            load_throughput_bps=22.4 * MB,
+            parallel_slots=2,
+            is_cloud=True,
+        ),
+        DeviceProfile(
+            name="server-cpu",
+            description="Xeon server with the GPU disabled (Table VII row)",
+            memory_bytes=int(28.0 * GB),
+            throughput=_tp(vit=6.0, cnn=5.0, text=11.0, audio=6.0, llm=1.0, head=500.0),
+            load_throughput_bps=80.0 * MB,
+            parallel_slots=2,
+            is_cloud=True,
+        ),
+        DeviceProfile(
+            name="desktop",
+            description="Intel i7-13700, 31.7 GB RAM (wired PAN)",
+            memory_bytes=int(26.0 * GB),
+            # Vision is marginally faster than the laptop's (the i7 wins on
+            # image preprocessing + encode), text markedly slower — this is
+            # what makes the paper's observed placement (vision on desktop,
+            # text on laptop, Table X) come out of Algorithm 1.
+            throughput=_tp(vit=26.0, cnn=21.0, text=17.7, audio=21.0, llm=6.0, head=2000.0),
+            load_throughput_bps=166.0 * MB,
+        ),
+        DeviceProfile(
+            name="laptop",
+            description="Apple M3 Pro, 18 GB RAM (Wi-Fi PAN)",
+            memory_bytes=int(14.0 * GB),
+            throughput=_tp(vit=24.0, cnn=19.0, text=19.4, audio=20.0, llm=7.0, head=2500.0),
+            load_throughput_bps=108.0 * MB,
+        ),
+        DeviceProfile(
+            name="jetson-a",
+            description="Jetson Nano 4 GB (Wi-Fi PAN; default requester)",
+            memory_bytes=int(400 * MB),
+            throughput=_tp(vit=7.6, cnn=0.8, text=0.93, audio=5.0, llm=0.15, head=100.0),
+            load_throughput_bps=16.3 * MB,
+        ),
+        DeviceProfile(
+            name="l40s",
+            description="NVIDIA L40S (footnote 4's batch-scaling measurements)",
+            memory_bytes=int(44.0 * GB),
+            throughput=_tp(vit=900.0, cnn=700.0, text=200.0, audio=500.0, llm=550.0, head=20000.0),
+            load_throughput_bps=400.0 * MB,
+            parallel_slots=4,
+            is_cloud=True,
+        ),
+        DeviceProfile(
+            name="jetson-b",
+            description="Jetson Nano 4 GB (wired PAN)",
+            memory_bytes=int(400 * MB),
+            throughput=_tp(vit=7.6, cnn=0.8, text=0.93, audio=5.0, llm=0.15, head=100.0),
+            load_throughput_bps=16.3 * MB,
+        ),
+    ]
+}
+
+
+def get_device_profile(name: str) -> DeviceProfile:
+    """Look up a device profile by name."""
+    try:
+        return DEVICE_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown device {name!r}") from None
+
+
+def edge_device_names() -> List[str]:
+    """The paper's default S2M3 deployment: the four PAN edge devices."""
+    return ["desktop", "laptop", "jetson-b", "jetson-a"]
+
+
+def testbed_device_names() -> List[str]:
+    """All five devices (edge + cloud server), as in Table IX's last row."""
+    return ["server", "desktop", "laptop", "jetson-b", "jetson-a"]

@@ -1,0 +1,128 @@
+"""Energy model (paper Sec. VII future work).
+
+"The power consumption is still one of the key factors for the battery life
+of edge devices" — the paper defers it; we provide the model and an
+energy-aware placement objective so the trade-off can be studied.
+
+Per device: active power while computing, idle power otherwise, plus a
+per-byte radio cost for transfers.  Per-request energy of a placement is the
+sum over routed modules of ``active_power * t_comp`` plus the transfer
+energy on both endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.core.routing.latency import LatencyModel
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Power characteristics of one device."""
+
+    name: str
+    active_watts: float
+    idle_watts: float
+    radio_nj_per_byte: float  # nanojoules per transmitted/received byte
+
+    def compute_joules(self, seconds: float) -> float:
+        return self.active_watts * seconds
+
+    def transfer_joules(self, payload_bytes: int) -> float:
+        return self.radio_nj_per_byte * payload_bytes * 1e-9
+
+
+#: Typical figures: Jetson Nano ~10 W active; the M3 laptop ~25 W; a desktop
+#: i7 ~95 W under load; the P40 server ~250 W; Wi-Fi radios ~100 nJ/B,
+#: wired NICs far less.
+ENERGY_PROFILES: Dict[str, EnergyProfile] = {
+    profile.name: profile
+    for profile in [
+        EnergyProfile("server", active_watts=250.0, idle_watts=60.0, radio_nj_per_byte=20.0),
+        EnergyProfile("server-cpu", active_watts=150.0, idle_watts=50.0, radio_nj_per_byte=20.0),
+        EnergyProfile("desktop", active_watts=95.0, idle_watts=20.0, radio_nj_per_byte=25.0),
+        EnergyProfile("laptop", active_watts=25.0, idle_watts=3.0, radio_nj_per_byte=100.0),
+        EnergyProfile("jetson-a", active_watts=10.0, idle_watts=1.5, radio_nj_per_byte=100.0),
+        EnergyProfile("jetson-b", active_watts=10.0, idle_watts=1.5, radio_nj_per_byte=60.0),
+        EnergyProfile("l40s", active_watts=350.0, idle_watts=80.0, radio_nj_per_byte=20.0),
+    ]
+}
+
+
+def get_energy_profile(name: str) -> EnergyProfile:
+    try:
+        return ENERGY_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(f"no energy profile for device {name!r}") from None
+
+
+def request_energy_joules(
+    request: InferenceRequest,
+    placement: Placement,
+    latency_model: LatencyModel,
+) -> float:
+    """Total cluster energy to serve one request under ``placement``."""
+    routing = latency_model.route(request, placement)
+    total = 0.0
+    # Resolve against the problem's table so no-sharing clones work too.
+    modules = [latency_model.module(name) for name in request.model.module_names]
+    for module in modules:
+        host = routing.host_of(module.name)
+        energy = get_energy_profile(host)
+        total += energy.compute_joules(
+            latency_model.compute_seconds(request, module.name, host)
+        )
+        if module.is_encoder:
+            modality = module.modality or "image"
+            payload = request.model.payload_bytes(modality)
+            # Radio energy on both the sender and the receiver.
+            total += get_energy_profile(request.source).transfer_joules(payload)
+            total += energy.transfer_joules(payload)
+    return total
+
+
+def energy_objective(
+    requests: Sequence[InferenceRequest],
+    placement: Placement,
+    latency_model: LatencyModel,
+) -> float:
+    """Total joules across a request set — the energy-aware objective."""
+    return sum(request_energy_joules(r, placement, latency_model) for r in requests)
+
+
+def energy_aware_placement(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    latency_budget_factor: float = 1.5,
+) -> Placement:
+    """Pick the lowest-energy placement within a latency budget.
+
+    Enumerates candidates via the brute-force generator when the instance is
+    small, constrained to at most ``latency_budget_factor`` times the greedy
+    placement's latency — the battery-life optimization the paper defers to
+    future work, made concrete.
+    """
+    from repro.core.placement.optimal import enumerate_placements
+
+    net = network if network is not None else Network()
+    model = LatencyModel(problem, net)
+    baseline = greedy_placement(problem)
+    budget = latency_budget_factor * model.objective(requests, baseline)
+
+    best: Optional[Placement] = None
+    best_energy = float("inf")
+    for candidate in enumerate_placements(problem):
+        if model.objective(requests, candidate) > budget:
+            continue
+        joules = energy_objective(requests, candidate, model)
+        if joules < best_energy:
+            best, best_energy = candidate, joules
+    return best if best is not None else baseline

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free process-based DES in the style of SimPy, used to
+emulate the paper's physical testbed: device compute slots with FIFO
+queueing (the source of the shared-module queueing delay in Table X),
+network transfers, and per-request parallel encoder execution (Fig. 3).
+
+Public surface:
+
+- :class:`Simulator` — event loop with a virtual clock.
+- :class:`Process` — generator-based process handle (also awaitable).
+- :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — awaitable events.
+- :class:`Resource` — capacity-limited FIFO resource (device compute slots).
+- :class:`Store` — FIFO message channel between processes.
+- :class:`TraceRecorder`, :class:`Span` — timeline capture for Fig. 3.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Span, TraceRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+    "Simulator",
+    "Span",
+    "TraceRecorder",
+]

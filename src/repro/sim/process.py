@@ -1,0 +1,53 @@
+"""Generator-based processes for the simulation kernel.
+
+A process wraps a Python generator.  Each ``yield`` hands back an awaitable
+:class:`~repro.sim.events.Event` (a :class:`Timeout`, a resource acquisition,
+another :class:`Process`, ...); the process resumes when that event fires,
+receiving the event's value as the result of the ``yield`` expression.
+
+A :class:`Process` is itself an :class:`Event` that fires when the generator
+returns, so processes can wait on each other (fork/join) — this is how the
+routing engine joins parallel modality encoders before running the task head
+(the ``max`` in the paper's Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process; fires (as an event) on completion."""
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._started = False
+        # Kick off on the next event-loop iteration at the current time so
+        # process creation order does not matter within a timestep.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator with the fired event's value."""
+        value = event.value if event is not None else None
+        try:
+            target = self.generator.send(value) if self._started else next(self.generator)
+            self._started = True
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        target.add_callback(self._resume)

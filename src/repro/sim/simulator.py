@@ -1,0 +1,94 @@
+"""The simulation event loop and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Simulator:
+    """A discrete-event simulator with a floating-point clock in seconds.
+
+    Events are processed in (time, insertion-order) order, so simultaneous
+    events run FIFO — deterministic regardless of heap internals.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._counter += 1
+        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from ``generator``; returns its join handle."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Join: an event firing when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Select: an event firing when any event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise RuntimeError("no scheduled events")
+        time, _seq, event = heapq.heappop(self._queue)
+        self._now = time
+        event._process()
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains, ``until`` is reached, or a safety cap.
+
+        Returns the final simulated time.  The ``max_events`` cap guards
+        against runaway loops in buggy workloads; hitting it raises.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            self.step()
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events; likely a livelock")
+        return self._now
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: start ``generator`` as a process, run to completion, return its value."""
+        handle = self.process(generator, name=name)
+        self.run()
+        if not handle.processed and not handle.triggered:
+            raise RuntimeError(f"process {handle.name!r} never completed (deadlock?)")
+        return handle.value

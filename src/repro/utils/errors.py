@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid specification: unknown model, malformed topology, etc."""
+
+
+class CapacityError(ReproError):
+    """A device (or the whole cluster) lacks resources for a request."""
+
+
+class PlacementError(ReproError):
+    """No feasible placement exists for the given modules and devices."""
+
+
+class RoutingError(ReproError):
+    """A request cannot be routed, e.g. a required module is unplaced."""

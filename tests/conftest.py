@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cluster.topology import build_testbed
+from repro.models.zoo import DEFAULT_ZOO
+from repro.profiles.devices import edge_device_names, testbed_device_names
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """Process-wide executable-model zoo (modules cache across tests)."""
+    return DEFAULT_ZOO
+
+
+@pytest.fixture
+def edge_cluster():
+    """A fresh four-edge-device cluster (the paper's default deployment)."""
+    return build_testbed(edge_device_names(), requester="jetson-a")
+
+
+@pytest.fixture
+def full_cluster():
+    """A fresh five-device cluster including the GPU server."""
+    return build_testbed(testbed_device_names(), requester="jetson-a")

@@ -1,0 +1,129 @@
+"""Baselines: centralized, tensor-parallel cost model, estimates, no-sharing."""
+
+import pytest
+
+from repro.baselines.centralized import centralized_inference
+from repro.baselines.distmm import distmm_latency
+from repro.baselines.megatron import megatron_latency, megatron_multitask_latency, megatron_params
+from repro.baselines.nosharing import no_sharing_engine
+from repro.baselines.optimus import optimus_latency
+from repro.baselines.parallelism import TensorParallelModel, estimated_layers
+from repro.cluster.network import Network
+from repro.cluster.topology import build_testbed
+from repro.core.catalog import get_module
+from repro.core.splitter import split_model
+from repro.profiles.devices import (
+    edge_device_names,
+    get_device_profile,
+    testbed_device_names as _testbed_device_names,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import million
+
+ALL5 = _testbed_device_names()
+
+
+class TestCentralized:
+    def test_cloud_beats_local_jetson(self):
+        cloud = centralized_inference("clip-vit-b16", "server", "jetson-a")
+        local = centralized_inference("clip-vit-b16", "jetson-a", "jetson-a")
+        assert cloud.inference_seconds < local.inference_seconds / 10
+
+    def test_infeasible_monolith_on_jetson(self):
+        result = centralized_inference("clip-rn50x16", "jetson-a", "jetson-a")
+        assert not result.feasible
+        assert result.inference_seconds is None
+        assert result.end_to_end_seconds is None
+
+    def test_local_requester_pays_no_transfer(self):
+        result = centralized_inference("clip-vit-b16", "jetson-a", "jetson-a")
+        assert result.input_comm_seconds == 0.0
+
+    def test_cloud_pays_man_upload(self):
+        result = centralized_inference("clip-vit-b16", "server", "jetson-a")
+        assert result.input_comm_seconds > 1.0  # residential uplink
+
+    def test_end_to_end_includes_loading(self):
+        result = centralized_inference("clip-vit-b16", "server", "jetson-a")
+        assert result.end_to_end_seconds == pytest.approx(
+            result.inference_seconds + result.load_seconds
+        )
+
+    def test_sequential_compute_is_sum_of_modules(self):
+        result = centralized_inference("clip-vit-b16", "desktop", "jetson-a")
+        split = split_model("clip-vit-b16")
+        device = get_device_profile("desktop")
+        expected = sum(
+            device.compute_seconds(m, work_scale=result.model.scale_for(m.name))
+            for m in split.modules
+        )
+        assert result.compute_seconds == pytest.approx(expected)
+
+
+class TestTensorParallelModel:
+    def make(self, devices=None):
+        names = devices or edge_device_names()
+        return TensorParallelModel(
+            devices=[get_device_profile(n) for n in names], network=Network()
+        )
+
+    def test_layers_scale_with_params(self):
+        small = estimated_layers(get_module("clip-trf-38m"))
+        large = estimated_layers(get_module("vicuna-13b"))
+        assert large > small
+
+    def test_exchange_cost_positive_for_groups(self):
+        tp = self.make()
+        assert tp.exchange_seconds_per_layer() > 0
+
+    def test_single_device_has_no_exchange(self):
+        tp = self.make(devices=["laptop"])
+        assert tp.exchange_seconds_per_layer() == 0.0
+
+    def test_module_seconds_never_worse_than_single_best(self):
+        tp = self.make()
+        for name in ["clip-vit-b16-vision", "clip-trf-38m", "tinyllama-1.1b"]:
+            module = get_module(name)
+            assert tp.module_seconds(module) <= tp.best_single_seconds(module) + 1e-12
+
+    def test_edge_exchange_kills_tensor_parallel_gains(self):
+        # The paper's key observation: on the PAN, all-reduce overheads
+        # erase the compute split for the evaluated modules.
+        tp = self.make()
+        module = get_module("clip-trf-38m")
+        assert tp.tensor_parallel_seconds(module) > tp.best_single_seconds(module)
+
+
+class TestEstimatedBaselines:
+    def test_optimus_only_for_vqa(self):
+        with pytest.raises(ConfigurationError):
+            optimus_latency("clip-vit-b16", ALL5, "jetson-a")
+
+    def test_distmm_only_for_retrieval(self):
+        with pytest.raises(ConfigurationError):
+            distmm_latency("flint-v0.5-1b", ALL5, "jetson-a")
+
+    def test_optimus_beats_megatron_on_vqa(self):
+        # Table XI: Optimus 1.57 vs Megatron 2.71.
+        optimus = optimus_latency("flint-v0.5-1b", ALL5, "jetson-a")
+        megatron = megatron_latency("flint-v0.5-1b", ALL5, "jetson-a")
+        assert optimus < megatron
+
+    def test_megatron_multitask_is_sum(self):
+        single_r = megatron_latency("clip-vit-b16", ALL5, "jetson-a")
+        single_a = megatron_latency("alignment-vitb16", ALL5, "jetson-a")
+        multi = megatron_multitask_latency(["clip-vit-b16", "alignment-vitb16"], ALL5, "jetson-a")
+        assert multi == pytest.approx(single_r + single_a)
+
+    def test_megatron_params_duplicate_across_tasks(self):
+        # Table XI: 333M for retrieval+alignment (no cross-task sharing).
+        params = megatron_params(["clip-vit-b16", "alignment-vitb16"])
+        assert params == pytest.approx(million(333), rel=0.01)
+
+
+class TestNoSharing:
+    def test_engine_deploys_dedicated_copies(self):
+        cluster = build_testbed(edge_device_names(), requester="jetson-a")
+        engine = no_sharing_engine(cluster, ["clip-vit-b16", "encoder-vqa-small"])
+        report = engine.deploy()
+        assert report.total_params == pytest.approx(million(248), rel=0.01)

@@ -1,0 +1,117 @@
+"""The S2M3 engine: deployment, sharing modes, estimates."""
+
+import pytest
+
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.core.placement.variants import ascending_memory_placement
+from repro.profiles.devices import edge_device_names
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import million
+
+
+def fresh_cluster():
+    return build_testbed(edge_device_names(), requester="jetson-a")
+
+
+class TestDeployment:
+    def test_deploy_loads_all_modules(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        report = engine.deploy()
+        loaded = {name for dev in engine.cluster.devices.values() for name in dev.loaded}
+        assert loaded == {"clip-vit-b16-vision", "clip-trf-38m", "cosine-similarity"}
+        assert report.total_params == million(124)
+
+    def test_max_device_params_matches_split_claim(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        report = engine.deploy()
+        assert report.max_device_params == million(86)
+
+    def test_load_seconds_is_max_across_devices(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        report = engine.deploy()
+        assert report.load_seconds == pytest.approx(
+            max(report.per_device_load_seconds.values())
+        )
+
+    def test_placement_before_deploy_raises(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        with pytest.raises(ConfigurationError):
+            _ = engine.placement
+
+    def test_no_models_rejected(self):
+        with pytest.raises(ConfigurationError):
+            S2M3Engine(fresh_cluster(), [])
+
+    def test_custom_placement_algorithm(self):
+        engine = S2M3Engine(
+            fresh_cluster(), ["clip-vit-b16"], placement_algorithm=ascending_memory_placement
+        )
+        report = engine.deploy()
+        assert report.total_params == million(124)
+
+    def test_replication_increases_deployed_params(self):
+        plain = S2M3Engine(fresh_cluster(), ["clip-vit-b16"]).deploy()
+        replicated = S2M3Engine(fresh_cluster(), ["clip-vit-b16"], replicate=True).deploy()
+        assert replicated.total_params > plain.total_params
+
+
+class TestSharingModes:
+    MODELS = ["clip-vit-b16", "encoder-vqa-small"]
+
+    def test_shared_deploys_one_copy(self):
+        engine = S2M3Engine(fresh_cluster(), self.MODELS, share=True)
+        report = engine.deploy()
+        assert report.total_params == pytest.approx(million(124), rel=0.01)
+
+    def test_unshared_deploys_dedicated_copies(self):
+        engine = S2M3Engine(fresh_cluster(), self.MODELS, share=False)
+        report = engine.deploy()
+        assert report.total_params == pytest.approx(million(248), rel=0.01)
+
+    def test_unshared_module_names_are_cloned(self):
+        engine = S2M3Engine(fresh_cluster(), self.MODELS, share=False)
+        engine.deploy()
+        names = {m for dev in engine.cluster.devices.values() for m in dev.loaded}
+        assert any("@clip-vit-b16" in name for name in names)
+        assert any("@encoder-vqa-small" in name for name in names)
+
+    def test_unshared_requests_resolve_cloned_specs(self):
+        engine = S2M3Engine(fresh_cluster(), self.MODELS, share=False)
+        engine.deploy()
+        request = engine.request("clip-vit-b16")
+        assert all("@clip-vit-b16" in name for name in request.model.module_names)
+
+    def test_unshared_work_scale_preserved(self):
+        engine = S2M3Engine(fresh_cluster(), self.MODELS, share=False)
+        spec = engine.resolve_model("clip-vit-b16")
+        assert spec.scale_for("clip-trf-38m@clip-vit-b16") == 100.0
+
+    def test_request_for_undeployed_model_raises(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        engine.deploy()
+        with pytest.raises(ConfigurationError):
+            engine.request("imagebind")
+
+
+class TestServing:
+    def test_estimate_and_serve_agree(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        engine.deploy()
+        request = engine.request("clip-vit-b16")
+        assert engine.serve([request]).outcomes[0].latency == pytest.approx(
+            engine.estimate(request).total, rel=0.02
+        )
+
+    def test_serve_models_convenience(self):
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16", "encoder-vqa-small"])
+        engine.deploy()
+        result = engine.serve_models(["clip-vit-b16", "encoder-vqa-small"])
+        assert len(result.outcomes) == 2
+
+    def test_faster_than_local_jetson(self):
+        # The headline: S2M3 on edge devices vs 45 s local inference.
+        engine = S2M3Engine(fresh_cluster(), ["clip-vit-b16"])
+        engine.deploy()
+        latency = engine.serve([engine.request("clip-vit-b16")]).outcomes[0].latency
+        assert latency < 5.0

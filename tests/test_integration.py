@@ -1,0 +1,102 @@
+"""End-to-end integration: deploy, serve, evaluate across subsystems."""
+
+import pytest
+
+from repro.baselines.centralized import centralized_inference
+from repro.cluster.requests import poisson_workload
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.core.sharing import build_sharing_plan
+from repro.models.evaluate import evaluate
+from repro.profiles.devices import edge_device_names, testbed_device_names as _all5
+
+
+class TestFullStackSingleTask:
+    def test_paper_headline_story_vitb16(self):
+        """The complete Sec. VI-A narrative for CLIP ViT-B/16."""
+        # 1. Local inference on the requester is painfully slow.
+        local = centralized_inference("clip-vit-b16", "jetson-a", "jetson-a")
+        assert local.inference_seconds > 40
+
+        # 2. Cloud helps but pays the MAN upload.
+        cloud = centralized_inference("clip-vit-b16", "server", "jetson-a")
+        assert cloud.inference_seconds < 3
+
+        # 3. S2M3 on edge devices alone matches the cloud...
+        cluster = build_testbed(edge_device_names(), requester="jetson-a")
+        engine = S2M3Engine(cluster, ["clip-vit-b16"])
+        report = engine.deploy()
+        latency = engine.serve([engine.request("clip-vit-b16")]).outcomes[0].latency
+        assert latency == pytest.approx(cloud.inference_seconds, rel=0.35)
+
+        # 4. ...with a much smaller per-device footprint.
+        assert report.max_device_params < local.total_params
+
+    def test_s2m3_plus_server_beats_cloud(self):
+        cloud = centralized_inference("clip-vit-b16", "server", "jetson-a")
+        cluster = build_testbed(_all5(), requester="jetson-a")
+        engine = S2M3Engine(cluster, ["clip-vit-b16"])
+        engine.deploy()
+        latency = engine.serve([engine.request("clip-vit-b16")]).outcomes[0].latency
+        assert latency < cloud.inference_seconds
+
+
+class TestFullStackMultiTask:
+    MODELS = [
+        "clip-vit-b16",
+        "encoder-vqa-small",
+        "alignment-vitb16",
+        "image-classification-vitb16",
+    ]
+
+    def test_four_task_deployment_and_burst(self):
+        cluster = build_testbed(edge_device_names(), requester="jetson-a")
+        engine = S2M3Engine(cluster, self.MODELS)
+        report = engine.deploy()
+        plan = build_sharing_plan(self.MODELS)
+        assert report.total_params == plan.shared_params
+
+        result = engine.serve_models(self.MODELS)
+        assert len(result.outcomes) == 4
+        assert result.max_latency < 60
+
+    def test_poisson_stream_completes(self):
+        cluster = build_testbed(edge_device_names(), requester="jetson-a")
+        engine = S2M3Engine(cluster, ["clip-vit-b16", "encoder-vqa-small"])
+        engine.deploy()
+        stream = poisson_workload(
+            [engine.resolve_model("clip-vit-b16"), engine.resolve_model("encoder-vqa-small")],
+            "jetson-a",
+            rate_per_s=0.5,
+            count=8,
+            seed=11,
+        )
+        result = engine.serve(stream)
+        assert len(result.outcomes) == 8
+        # FIFO fairness: completions are finite and ordered sanely.
+        assert all(latency > 0 for latency in result.latencies)
+
+
+class TestAccuracyIntegration:
+    def test_split_deployment_preserves_accuracy_end_to_end(self, zoo):
+        split = evaluate("clip-vit-b16", "flowers-102", samples=50, split=True, zoo=zoo)
+        central = evaluate("clip-vit-b16", "flowers-102", samples=50, split=False, zoo=zoo)
+        assert split.accuracy == central.accuracy
+        assert split.accuracy > 0.3
+
+    def test_model_scale_ordering_holds(self, zoo):
+        small = evaluate("clip-vit-b16", "country-211", samples=60, zoo=zoo)
+        large = evaluate("clip-vit-l14-336", "country-211", samples=60, zoo=zoo)
+        assert large.accuracy >= small.accuracy
+
+
+class TestRequesterVariation:
+    @pytest.mark.parametrize("requester", ["jetson-a", "jetson-b", "laptop", "desktop"])
+    def test_any_device_can_request(self, requester):
+        # Paper Sec. VI-A: "initiated the inference across different devices
+        # and it showed a similar inference time".
+        cluster = build_testbed(edge_device_names(), requester=requester)
+        engine = S2M3Engine(cluster, ["clip-vit-b16"])
+        engine.deploy()
+        latency = engine.serve([engine.request("clip-vit-b16")]).outcomes[0].latency
+        assert latency < 5.0

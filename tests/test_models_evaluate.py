@@ -1,0 +1,54 @@
+"""The accuracy evaluator behind Table VIII."""
+
+import pytest
+
+from repro.models.evaluate import evaluate
+from repro.utils.errors import ConfigurationError
+
+
+class TestEvaluate:
+    def test_retrieval_beats_chance(self, zoo):
+        result = evaluate("clip-vit-b16", "cifar-10", samples=40, zoo=zoo)
+        assert result.accuracy > 0.5  # chance is 0.1
+
+    def test_split_equals_centralized(self, zoo):
+        split = evaluate("clip-vit-b16", "cifar-10", samples=40, split=True, zoo=zoo)
+        central = evaluate("clip-vit-b16", "cifar-10", samples=40, split=False, zoo=zoo)
+        assert split.accuracy == central.accuracy
+
+    def test_result_metadata(self, zoo):
+        result = evaluate("clip-vit-b16", "cifar-10", samples=10, split=True, zoo=zoo)
+        assert result.pipeline == "split"
+        assert result.samples == 10
+        assert result.benchmark_name == "cifar-10"
+
+    def test_task_mismatch_raises(self, zoo):
+        with pytest.raises(ConfigurationError):
+            evaluate("clip-vit-b16", "vqa-v2", samples=5, zoo=zoo)
+
+    def test_decoder_vqa_beats_chance(self, zoo):
+        result = evaluate("llava-v1.5-7b", "vqa-v2", samples=30, zoo=zoo)
+        assert result.accuracy > 0.2  # chance is 1/50
+
+    def test_larger_lm_scores_higher(self, zoo):
+        flint = evaluate("flint-v0.5-1b", "vqa-v2", samples=40, zoo=zoo)
+        llava = evaluate("llava-v1.5-7b", "vqa-v2", samples=40, zoo=zoo)
+        assert llava.accuracy > flint.accuracy
+
+    def test_encoder_vqa_runs(self, zoo):
+        result = evaluate("encoder-vqa-small", "coco-retrieval", samples=25, zoo=zoo)
+        assert result.accuracy > 1.0 / 80  # beats chance
+
+    def test_alignment_runs(self, zoo):
+        result = evaluate("alignment-vitb16", "audioset-a", samples=30, zoo=zoo)
+        assert result.accuracy > 0.3
+
+    def test_classification_runs(self, zoo):
+        result = evaluate("image-classification-vitb16", "food-101-cls", samples=25, zoo=zoo)
+        assert result.accuracy > 0.2
+
+    def test_seed_changes_sampled_accuracy(self, zoo):
+        a = evaluate("clip-vit-b16", "cifar-100", samples=30, seed=0, zoo=zoo)
+        b = evaluate("clip-vit-b16", "cifar-100", samples=30, seed=1, zoo=zoo)
+        # Different draws; accuracies may coincide but the evaluation ran.
+        assert 0 <= a.accuracy <= 1 and 0 <= b.accuracy <= 1

@@ -1,0 +1,118 @@
+"""Numpy layers: shapes, determinism, numeric sanity."""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import (
+    Conv2d,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    TransformerBlock,
+    gelu,
+    global_avg_pool,
+    relu,
+    sinusoidal_positions,
+    softmax,
+)
+from repro.utils.seeding import rng_for
+
+
+class TestActivations:
+    def test_gelu_at_zero(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_gelu_monotone_on_positive(self):
+        xs = np.linspace(0, 3, 10)
+        ys = gelu(xs)
+        assert np.all(np.diff(ys) > 0)
+
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 2.0])), np.array([0.0, 2.0]))
+
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([1e4, 1e4 + 1]))
+        assert np.isfinite(probs).all()
+
+
+class TestLinearAndNorm:
+    def test_linear_shape(self):
+        layer = Linear.init(rng_for("lin"), 8, 4)
+        assert layer(np.zeros((3, 8))).shape == (3, 4)
+
+    def test_linear_param_count(self):
+        layer = Linear.init(rng_for("lin"), 8, 4)
+        assert layer.param_count == 8 * 4 + 4
+
+    def test_layernorm_normalizes(self):
+        norm = LayerNorm.init(6)
+        out = norm(rng_for("ln").normal(size=(5, 6)) * 10 + 3)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention.init(rng_for("attn"), dim=16, heads=4)
+        assert attn(np.zeros((5, 16))).shape == (5, 16)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention.init(rng_for("attn"), dim=10, heads=4)
+
+    def test_causal_mask_blocks_future(self):
+        attn = MultiHeadAttention.init(rng_for("attn"), dim=16, heads=4)
+        base = rng_for("input").normal(size=(6, 16))
+        causal_out = attn(base, causal=True)
+        # Changing the LAST token must not affect the FIRST position's output.
+        modified = base.copy()
+        modified[-1] += 5.0
+        assert np.allclose(attn(modified, causal=True)[0], causal_out[0])
+
+    def test_non_causal_sees_everything(self):
+        attn = MultiHeadAttention.init(rng_for("attn"), dim=16, heads=4)
+        base = rng_for("input").normal(size=(6, 16))
+        modified = base.copy()
+        modified[-1] += 5.0
+        assert not np.allclose(attn(modified)[0], attn(base)[0])
+
+
+class TestTransformerBlock:
+    def test_shape_preserved(self):
+        block = TransformerBlock.init(rng_for("blk"), dim=16, heads=4)
+        assert block(np.zeros((7, 16))).shape == (7, 16)
+
+    def test_deterministic_from_seed(self):
+        a = TransformerBlock.init(rng_for("blk"), dim=16, heads=4)
+        b = TransformerBlock.init(rng_for("blk"), dim=16, heads=4)
+        x = rng_for("x").normal(size=(4, 16))
+        assert np.allclose(a(x), b(x))
+
+    def test_param_count_positive(self):
+        block = TransformerBlock.init(rng_for("blk"), dim=16, heads=4)
+        assert block.param_count > 16 * 16
+
+
+class TestConv:
+    def test_output_shape(self):
+        conv = Conv2d.init(rng_for("conv"), in_c=3, out_c=8, kernel=3, stride=2)
+        out = conv(np.zeros((3, 24, 24)))
+        assert out.shape == (8, 11, 11)
+
+    def test_global_avg_pool(self):
+        pooled = global_avg_pool(np.ones((4, 5, 5)) * 2)
+        assert pooled.shape == (4,)
+        assert np.allclose(pooled, 2.0)
+
+
+class TestPositions:
+    def test_shape(self):
+        assert sinusoidal_positions(9, 16).shape == (9, 16)
+
+    def test_rows_distinct(self):
+        pos = sinusoidal_positions(9, 16)
+        assert not np.allclose(pos[0], pos[1])

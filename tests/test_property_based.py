@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.catalog import MODEL_CATALOG, list_models
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.problem import PlacementProblem
+from repro.core.placement.validation import check_placement
+from repro.core.routing.latency import LatencyModel
+from repro.core.sharing import build_sharing_plan
+from repro.core.splitter import split_model
+from repro.datasets.latent import LatentConceptSpace
+from repro.profiles.devices import edge_device_names, testbed_device_names as _all_devices
+from repro.sim import Resource, Simulator
+from repro.utils.seeding import derive_seed
+
+MODEL_NAMES = sorted(MODEL_CATALOG)
+#: Models whose largest module fits the edge devices (vicuna-13b needs the
+#: desktop; everything here is safely placeable on the 4-device PAN).
+EDGE_PLACEABLE = [
+    name for name in MODEL_NAMES
+    if split_model(name).max_module_memory_bytes <= 14 * 1024**3
+]
+
+model_lists = st.lists(st.sampled_from(MODEL_NAMES), min_size=1, max_size=6)
+edge_model_lists = st.lists(st.sampled_from(EDGE_PLACEABLE), min_size=1, max_size=4)
+
+
+class TestSharingInvariants:
+    @given(models=model_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_shared_never_exceeds_unshared(self, models):
+        plan = build_sharing_plan(models)
+        assert plan.shared_params <= plan.unshared_params
+
+    @given(models=model_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_shared_params_order_invariant(self, models):
+        forward = build_sharing_plan(models).shared_params
+        backward = build_sharing_plan(list(reversed(models))).shared_params
+        assert forward == backward
+
+    @given(models=model_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_steps_partition_the_distinct_set(self, models):
+        plan = build_sharing_plan(models)
+        new_names = [m.name for step in plan.steps for m in step.new_modules]
+        assert sorted(new_names) == sorted(m.name for m in plan.distinct_modules)
+
+    @given(models=model_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cumulative_ledger_monotone(self, models):
+        plan = build_sharing_plan(models)
+        shared = [step.cumulative_shared_params for step in plan.steps]
+        unshared = [step.cumulative_unshared_params for step in plan.steps]
+        assert shared == sorted(shared)
+        assert unshared == sorted(unshared)
+
+
+class TestPlacementInvariants:
+    @given(models=edge_model_lists, noise_seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_greedy_always_feasible_under_noise(self, models, noise_seed):
+        base = PlacementProblem.from_models(models, edge_device_names())
+        rng = np.random.default_rng(derive_seed("prop", noise_seed))
+        noise = {
+            (m.name, d.name): float(rng.lognormal(0, 0.3))
+            for m in base.modules
+            for d in base.devices
+        }
+        problem = PlacementProblem.from_models(models, edge_device_names(), compute_noise=noise)
+        placement = greedy_placement(problem)
+        check_placement(problem, placement)
+
+    @given(models=edge_model_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_every_module_single_host(self, models):
+        problem = PlacementProblem.from_models(models, edge_device_names())
+        placement = greedy_placement(problem)
+        assert all(len(hosts) == 1 for hosts in placement.as_dict().values())
+
+
+class TestLatencyInvariants:
+    @given(model_name=st.sampled_from(EDGE_PLACEABLE))
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_never_slower_than_sequential(self, model_name):
+        problem = PlacementProblem.from_models([model_name], edge_device_names())
+        placement = greedy_placement(problem)
+        request = InferenceRequest.for_model(model_name, "jetson-a")
+        network = Network()
+        parallel = LatencyModel(problem, network, parallel=True)
+        sequential = LatencyModel(problem, network, parallel=False)
+        assert parallel.total_latency(request, placement) <= (
+            sequential.total_latency(request, placement) + 1e-9
+        )
+
+    @given(model_name=st.sampled_from(EDGE_PLACEABLE))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_components_nonnegative(self, model_name):
+        problem = PlacementProblem.from_models([model_name], edge_device_names())
+        placement = greedy_placement(problem)
+        request = InferenceRequest.for_model(model_name, "jetson-a")
+        breakdown = LatencyModel(problem, Network()).breakdown(request, placement)
+        for path in breakdown.encoder_paths:
+            assert path.input_comm >= 0
+            assert path.compute > 0
+            assert path.output_comm >= 0
+            assert path.queue_wait >= 0
+        assert breakdown.head_compute >= 0
+
+
+class TestNetworkInvariants:
+    @given(
+        payload=st.integers(min_value=0, max_value=10**8),
+        src=st.sampled_from(_all_devices()),
+        dst=st.sampled_from(_all_devices()),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_nonnegative_and_monotone(self, payload, src, dst):
+        network = Network()
+        t1 = network.transfer_seconds(src, dst, payload)
+        t2 = network.transfer_seconds(src, dst, payload + 1000)
+        assert t1 >= 0
+        assert t2 >= t1
+
+    @given(
+        src=st.sampled_from(_all_devices()),
+        dst=st.sampled_from(_all_devices()),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_symmetric(self, src, dst):
+        network = Network()
+        assert network.transfer_seconds(src, dst, 1000) == (
+            network.transfer_seconds(dst, src, 1000)
+        )
+
+
+class TestSimulatorInvariants:
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_all_of_completes_at_max_delay(self, delays):
+        sim = Simulator()
+
+        def proc():
+            yield sim.all_of([sim.timeout(d) for d in delays])
+            return sim.now
+
+        assert sim.run_process(proc()) == max(delays)
+
+    @given(
+        durations=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=10),
+        capacity=st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resource_conserves_work(self, durations, capacity):
+        sim = Simulator()
+        resource = Resource(sim, capacity=capacity)
+        finished = []
+
+        def worker(duration):
+            token = yield resource.acquire()
+            yield sim.timeout(duration)
+            resource.release(token)
+            finished.append(sim.now)
+
+        for duration in durations:
+            sim.process(worker(duration))
+        sim.run()
+        # Makespan bounds: at least the critical path, at most the serial sum.
+        assert len(finished) == len(durations)
+        assert max(finished) >= max(durations) - 1e-9
+        assert max(finished) <= sum(durations) + 1e-9
+
+
+class TestLatentInvariants:
+    @given(
+        num_classes=st.integers(2, 64),
+        seed=st.integers(0, 50),
+        class_index=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_text_roundtrip_cosine(self, num_classes, seed, class_index):
+        space = LatentConceptSpace(num_classes=num_classes, seed=seed)
+        index = class_index % num_classes
+        latent = space.class_latents[index]
+        decoded = space.latent_from_tokens(space.tokens_from_latent(latent))
+        cos = decoded @ latent / (np.linalg.norm(decoded) * np.linalg.norm(latent))
+        assert cos > 0.9

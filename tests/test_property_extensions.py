@@ -1,0 +1,104 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.metrics import summarize_latencies
+from repro.core.catalog import MODULE_CATALOG, get_module
+from repro.core.compression import QUANTIZATION_LEVELS, quantize
+from repro.core.partitioning import partition_module
+
+MODULE_NAMES = sorted(name for name, m in MODULE_CATALOG.items() if m.params > 0)
+
+
+class TestCompressionProperties:
+    @given(
+        module_name=st.sampled_from(MODULE_NAMES),
+        bits=st.sampled_from(sorted(QUANTIZATION_LEVELS)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memory_never_grows(self, module_name, bits):
+        module = get_module(module_name)
+        compressed = quantize(module, bits)
+        assert compressed.spec.memory_bytes <= module.memory_bytes
+
+    @given(module_name=st.sampled_from(MODULE_NAMES))
+    @settings(max_examples=30, deadline=None)
+    def test_lower_bits_mean_less_memory_more_penalty(self, module_name):
+        module = get_module(module_name)
+        int8 = quantize(module, 8)
+        int4 = quantize(module, 4)
+        assert int4.spec.memory_bytes < int8.spec.memory_bytes
+        assert int4.accuracy_penalty >= int8.accuracy_penalty
+
+    @given(
+        module_name=st.sampled_from(MODULE_NAMES),
+        bits=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kind_and_params_preserved(self, module_name, bits):
+        module = get_module(module_name)
+        compressed = quantize(module, bits)
+        assert compressed.spec.kind is module.kind
+        assert compressed.spec.params == module.params
+        assert compressed.source_name == module.name
+
+
+class TestPartitioningProperties:
+    @given(
+        module_name=st.sampled_from(MODULE_NAMES),
+        stages=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_totals_conserved(self, module_name, stages):
+        module = get_module(module_name)
+        partitioned = partition_module(module, stages)
+        assert sum(s.params for s in partitioned.stages) == module.params
+        assert sum(s.work for s in partitioned.stages) == pytest.approx(module.work)
+
+    @given(
+        module_name=st.sampled_from(MODULE_NAMES),
+        stages=st.integers(2, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_stage_strictly_smaller(self, module_name, stages):
+        module = get_module(module_name)
+        partitioned = partition_module(module, stages)
+        for stage in partitioned.stages:
+            assert stage.memory_bytes < module.memory_bytes
+
+    @given(
+        module_name=st.sampled_from(MODULE_NAMES),
+        stages=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_final_stage_keeps_output_bytes(self, module_name, stages):
+        module = get_module(module_name)
+        partitioned = partition_module(module, stages)
+        assert partitioned.stages[-1].output_bytes == module.output_bytes
+
+
+class TestMetricsProperties:
+    @given(latencies=st.lists(st.floats(0.001, 1000.0), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_bounds(self, latencies):
+        summary = summarize_latencies(latencies)
+        assert min(latencies) - 1e-9 <= summary.mean <= max(latencies) + 1e-9
+        assert summary.p50 <= summary.p95 + 1e-9
+        assert summary.p95 <= summary.p99 + 1e-9
+        assert summary.p99 <= summary.maximum + 1e-9
+        assert summary.maximum == max(latencies)
+
+    @given(
+        latencies=st.lists(st.floats(0.001, 100.0), min_size=1, max_size=50),
+        scale=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_summary_scales_linearly(self, latencies, scale):
+        base = summarize_latencies(latencies)
+        scaled = summarize_latencies([scale * value for value in latencies])
+        assert scaled.mean == np.float64(scale * base.mean) or abs(
+            scaled.mean - scale * base.mean
+        ) < 1e-6 * max(1.0, scaled.mean)

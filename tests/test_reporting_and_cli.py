@@ -1,0 +1,85 @@
+"""Experiment reporting, the CLI runner, and misc experiment plumbing."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.experiments.reporting import ExperimentTable, format_million, relative_saving
+from repro.experiments.runner import fresh_edge_cluster, fresh_full_cluster
+
+
+class TestExperimentTable:
+    def test_render_aligns_columns(self):
+        table = ExperimentTable("T", headers=["a", "bbb"])
+        table.add_row("x", 1.234)
+        table.add_row("longer", None)
+        output = table.render()
+        assert "T" in output
+        assert "1.23" in output
+        assert "–" in output  # None renders as the paper's dash
+
+    def test_row_arity_checked(self):
+        table = ExperimentTable("T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_column_access(self):
+        table = ExperimentTable("T", headers=["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("value") == [1, 2]
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("T", headers=["a"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_empty_table_renders(self):
+        assert "T" in ExperimentTable("T", headers=["a"]).render()
+
+
+class TestReportingHelpers:
+    def test_relative_saving(self):
+        assert relative_saving(124, 86) == pytest.approx(30.6, abs=0.1)
+
+    def test_relative_saving_zero_base(self):
+        assert relative_saving(0, 10) == 0.0
+
+    def test_format_million(self):
+        assert format_million(86_000_000) == "86M"
+        assert format_million(1_400_000_000) == "1.4B"
+        assert format_million(52_000) == "52K"
+        assert format_million(12) == "12"
+
+
+class TestRunnerHelpers:
+    def test_fresh_edge_cluster_has_four_devices(self):
+        cluster = fresh_edge_cluster()
+        assert len(cluster.device_names) == 4
+        assert "server" not in cluster.device_names
+
+    def test_fresh_full_cluster_includes_server(self):
+        assert "server" in fresh_full_cluster().device_names
+
+    def test_clusters_are_independent(self):
+        a = fresh_edge_cluster()
+        b = fresh_edge_cluster()
+        assert a.sim is not b.sim
+
+
+class TestCli:
+    def test_registry_covers_all_artifacts(self):
+        expected = {
+            "table6", "table7", "table8", "table9", "table10", "table11",
+            "fig3", "optimality", "batching", "ablations", "extensions",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_cli_runs_a_fast_experiment(self, capsys):
+        assert main(["batching"]) == 0
+        out = capsys.readouterr().out
+        assert "batch" in out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,120 @@
+"""Discrete-event execution: parallelism, queueing, pipelining."""
+
+import pytest
+
+from repro.cluster.requests import InferenceRequest, sequential_workload, simultaneous_workload
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.sim.trace import CATEGORY_COMPUTE, CATEGORY_HEAD, CATEGORY_TRANSMISSION
+from repro.profiles.devices import edge_device_names
+
+
+def deployed_engine(models, parallel=True, share=True):
+    cluster = build_testbed(edge_device_names(), requester="jetson-a")
+    engine = S2M3Engine(cluster, models, parallel=parallel, share=share)
+    engine.deploy()
+    return engine
+
+
+class TestSingleRequest:
+    def test_simulated_matches_analytic_on_idle_cluster(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        request = engine.request("clip-vit-b16")
+        analytic = engine.estimate(request).total
+        simulated = engine.serve([request]).outcomes[0].latency
+        assert simulated == pytest.approx(analytic, rel=0.02)
+
+    def test_encoders_overlap_in_time(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        engine.serve([engine.request("clip-vit-b16")])
+        assert len(engine.cluster.trace.parallel_compute_spans()) >= 1
+
+    def test_sequential_mode_is_slower(self):
+        parallel = deployed_engine(["clip-vit-b16"])
+        p_latency = parallel.serve([parallel.request("clip-vit-b16")]).outcomes[0].latency
+        sequential = deployed_engine(["clip-vit-b16"], parallel=False)
+        s_latency = sequential.serve([sequential.request("clip-vit-b16")]).outcomes[0].latency
+        assert s_latency > p_latency
+
+    def test_head_runs_after_all_encoders(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        engine.serve([engine.request("clip-vit-b16")])
+        trace = engine.cluster.trace
+        head_start = min(s.start for s in trace.by_category(CATEGORY_HEAD))
+        encoder_end = max(s.end for s in trace.by_category(CATEGORY_COMPUTE))
+        assert head_start >= encoder_end - 1e-9
+
+    def test_transmissions_recorded(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        engine.serve([engine.request("clip-vit-b16")])
+        assert engine.cluster.trace.by_category(CATEGORY_TRANSMISSION)
+
+    def test_single_encoder_task_has_no_parallelism(self):
+        engine = deployed_engine(["image-classification-vitb16"])
+        engine.serve([engine.request("image-classification-vitb16")])
+        assert engine.cluster.trace.parallel_compute_spans() == []
+
+
+class TestConcurrency:
+    def test_shared_module_queueing_raises_latency(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        burst = [engine.request("clip-vit-b16") for _ in range(3)]
+        result = engine.serve(burst)
+        latencies = sorted(result.latencies)
+        assert latencies[-1] > latencies[0]  # later requests queue
+
+    def test_pipelining_beats_full_serialization(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        single = engine.serve([engine.request("clip-vit-b16")]).makespan
+
+        engine2 = deployed_engine(["clip-vit-b16"])
+        burst = [engine2.request("clip-vit-b16") for _ in range(3)]
+        makespan = engine2.serve(burst).makespan
+        # Pipelined: far better than 3x a single request end-to-end.
+        assert makespan < 3 * single
+
+    def test_arrival_times_respected(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        late = engine.request("clip-vit-b16", arrival_time=100.0)
+        result = engine.serve([late])
+        assert result.outcomes[0].start_time >= 100.0
+
+    def test_outcomes_sorted_by_request_id(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        requests = [engine.request("clip-vit-b16") for _ in range(3)]
+        result = engine.serve(requests)
+        ids = [o.request.request_id for o in result.outcomes]
+        assert ids == sorted(ids)
+
+    def test_outcome_lookup(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        request = engine.request("clip-vit-b16")
+        result = engine.serve([request])
+        assert result.outcome_for(request.request_id).request is request
+        with pytest.raises(KeyError):
+            result.outcome_for(-1)
+
+    def test_service_noise_scales_latency(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        noisy = engine.serve(
+            [engine.request("clip-vit-b16")], service_noise=lambda m, d: 2.0
+        )
+        engine2 = deployed_engine(["clip-vit-b16"])
+        clean = engine2.serve([engine2.request("clip-vit-b16")])
+        assert noisy.outcomes[0].latency > clean.outcomes[0].latency
+
+
+class TestExecutionResultStats:
+    def test_mean_and_max(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        result = engine.serve([engine.request("clip-vit-b16") for _ in range(2)])
+        assert result.mean_latency <= result.max_latency
+        assert result.mean_latency > 0
+
+    def test_empty_result_stats(self):
+        from repro.core.routing.executor import ExecutionResult
+
+        empty = ExecutionResult()
+        assert empty.mean_latency == 0.0
+        assert empty.max_latency == 0.0
+        assert empty.makespan == 0.0

@@ -1,0 +1,159 @@
+"""The discrete-event simulation kernel: events, processes, clock."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+
+
+class TestSimulatorBasics:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(RuntimeError):
+            Simulator().step()
+
+    def test_events_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            event = sim.timeout(1.0, value=tag)
+            event.add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcesses:
+    def test_process_returns_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        assert sim.run_process(proc()) == 42
+
+    def test_yield_receives_timeout_value(self):
+        sim = Simulator()
+
+        def proc():
+            got = yield sim.timeout(0.5, value="payload")
+            return got
+
+        assert sim.run_process(proc()) == "payload"
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 3.0
+
+    def test_process_waiting_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        def parent():
+            result = yield sim.process(child())
+            return (result, sim.now)
+
+        assert sim.run_process(parent()) == ("done", 2.0)
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 5
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.all_of([sim.timeout(1.0), sim.timeout(3.0), sim.timeout(2.0)])
+            return sim.now
+
+        assert sim.run_process(proc()) == 3.0
+
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+
+        def proc():
+            values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+            return values
+
+        assert sim.run_process(proc()) == ["a", "b"]
+
+    def test_any_of_fires_on_fastest(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.any_of([sim.timeout(5.0), sim.timeout(1.0)])
+            return sim.now
+
+        assert sim.run_process(proc()) == 1.0
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+
+class TestEventSemantics:
+    def test_double_succeed_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(RuntimeError):
+            event.succeed(2)
+
+    def test_callback_after_processed_runs_immediately(self):
+        sim = Simulator()
+        event = sim.timeout(0.0, value="x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def livelock():
+            while True:
+                yield sim.timeout(0.0)
+
+        sim.process(livelock())
+        with pytest.raises(RuntimeError, match="events"):
+            sim.run(max_events=100)

@@ -7,7 +7,7 @@ paths.  The split path serializes every inter-module embedding through raw
 bytes — exactly what the paper's socket transport does — and the results
 match exactly (paper Table VIII).
 
-Run:  python examples/zero_shot_accuracy.py    (takes ~1 minute)
+Run:  python examples/zero_shot_accuracy.py    (a few seconds: batched forwards)
 """
 
 from repro.models.evaluate import evaluate

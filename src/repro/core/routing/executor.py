@@ -46,24 +46,64 @@ class RequestOutcome:
 
 @dataclass
 class ExecutionResult:
-    """Outcomes plus the recorded timeline for a batch of requests."""
+    """Outcomes plus the recorded timeline for a batch of requests.
+
+    ``outputs`` optionally carries *real* per-request inference results
+    (answer indices, class predictions, ...) keyed by request id when the
+    executor ran with a compute backend (see
+    :mod:`repro.core.routing.batched`).
+
+    Aggregate statistics are cached: latencies are computed once per
+    distinct outcome-list content instead of on every
+    ``mean_latency``/``max_latency`` access, and ``outcome_for`` is an
+    indexed dict lookup instead of an attribute-chasing scan (validity is
+    still confirmed by a cheap O(n) identity walk, since ``outcomes`` is a
+    plain mutable list).  Staleness is detected by an identity snapshot of
+    the outcome objects, so appends, reorders (the executors' final sort),
+    and replacements all invalidate; the snapshot holds strong references,
+    so object ids cannot be recycled under it, and :class:`RequestOutcome`
+    is frozen, so cached entries cannot drift via in-place field mutation.
+    """
 
     outcomes: List[RequestOutcome] = field(default_factory=list)
     trace: Optional[TraceRecorder] = None
+    outputs: Dict[int, object] = field(default_factory=dict)
+    _snapshot: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
+    _latency_cache: List[float] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _index: Dict[int, RequestOutcome] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def _sync(self) -> None:
+        snapshot = self._snapshot
+        if (
+            snapshot is not None
+            and len(snapshot) == len(self.outcomes)
+            and all(cached is live for cached, live in zip(snapshot, self.outcomes))
+        ):
+            return
+        self._snapshot = tuple(self.outcomes)
+        self._latency_cache = [outcome.latency for outcome in self.outcomes]
+        self._index = {outcome.request.request_id: outcome for outcome in self.outcomes}
 
     @property
     def latencies(self) -> List[float]:
-        return [outcome.latency for outcome in self.outcomes]
+        self._sync()
+        return list(self._latency_cache)
 
     @property
     def mean_latency(self) -> float:
-        if not self.outcomes:
+        self._sync()
+        if not self._latency_cache:
             return 0.0
-        return sum(self.latencies) / len(self.outcomes)
+        return sum(self._latency_cache) / len(self._latency_cache)
 
     @property
     def max_latency(self) -> float:
-        return max(self.latencies, default=0.0)
+        self._sync()
+        return max(self._latency_cache, default=0.0)
 
     @property
     def makespan(self) -> float:
@@ -71,10 +111,18 @@ class ExecutionResult:
         return max((outcome.finish_time for outcome in self.outcomes), default=0.0)
 
     def outcome_for(self, request_id: int) -> RequestOutcome:
-        for outcome in self.outcomes:
-            if outcome.request.request_id == request_id:
-                return outcome
-        raise KeyError(f"no outcome for request {request_id}")
+        self._sync()
+        try:
+            return self._index[request_id]
+        except KeyError:
+            raise KeyError(f"no outcome for request {request_id}") from None
+
+    def output_for(self, request_id: int):
+        """The real inference output for ``request_id`` (backend runs only)."""
+        try:
+            return self.outputs[request_id]
+        except KeyError:
+            raise KeyError(f"no output for request {request_id}") from None
 
 
 def execute_requests(

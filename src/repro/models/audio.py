@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.datasets.latent import AUDIO_DIM
 from repro.models.layers import Linear, TransformerBlock, sinusoidal_positions
-from repro.models.weights import ridge_apply
+from repro.models.weights import ridge_apply, ridge_apply_rows
 from repro.utils.seeding import rng_for
 
 #: The clip vector is reshaped into this many "spectrogram frame" tokens.
@@ -39,7 +39,22 @@ class TinyAudioEncoder:
             tokens = block(tokens)
         return tokens.mean(axis=0)
 
+    def features_batch(self, clips: np.ndarray) -> np.ndarray:
+        """Backbone features for a (batch, AUDIO_DIM) stack -> (batch, dim)."""
+        batch = clips.shape[0]
+        frames = clips.reshape(batch, AUDIO_TOKENS, -1)
+        tokens = self.embed(frames) + self.positions
+        for block in self.blocks:
+            tokens = block(tokens)
+        return tokens.mean(axis=1)
+
     def __call__(self, clip: np.ndarray) -> np.ndarray:
         if self.projection is None:
             raise RuntimeError(f"encoder {self.name!r} is not calibrated")
         return ridge_apply(self.projection, self.features(clip))
+
+    def embed_batch(self, clips: np.ndarray) -> np.ndarray:
+        """Embed a (batch, AUDIO_DIM) stack -> (batch, latent), row-exact."""
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply_rows(self.projection, self.features_batch(clips))

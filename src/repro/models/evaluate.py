@@ -4,6 +4,12 @@ This is the machinery behind the Table VIII reproduction: run a model on a
 benchmark through either the centralized or the split pipeline and report
 zero-shot accuracy.  The headline check is that both pipelines agree
 *exactly* (bit-identical embeddings), so splitting costs no accuracy.
+
+The evaluator drives whole benchmark datasets through the pipelines'
+**batched** forwards (one stacked forward per modality instead of a
+per-sample Python loop).  Batching is bit-exact — see
+:mod:`repro.models.layers` — so accuracies are identical to the sequential
+evaluation, just an order of magnitude faster.
 """
 
 from __future__ import annotations
@@ -25,6 +31,10 @@ from repro.utils.seeding import rng_for
 #: Training examples per class for benchmark-fitted classifier heads.
 _PROBE_SAMPLES_PER_CLASS = 4
 
+#: Samples per batched forward.  Chunking bounds peak memory; because the
+#: batch axis is pure stacking, chunk boundaries cannot change any bits.
+DEFAULT_BATCH_SIZE = 256
+
 
 @dataclass(frozen=True)
 class EvaluationResult:
@@ -37,6 +47,12 @@ class EvaluationResult:
     samples: int
 
 
+def _batches(count: int, batch_size: int):
+    """Yield (lo, hi) chunk bounds covering ``range(count)``."""
+    for lo in range(0, count, batch_size):
+        yield lo, min(lo + batch_size, count)
+
+
 def _fit_classifier_head(
     pipeline: _BasePipeline, spec: BenchmarkSpec, space: LatentConceptSpace
 ) -> None:
@@ -44,24 +60,31 @@ def _fit_classifier_head(
 
     Faithful to the paper: its classifier heads are task-trained, while
     encoders stay frozen.  The training split is disjoint from the test
-    split by seeding.
+    split by seeding.  Probe inputs are generated in the original
+    per-sample RNG order, then featurized in ONE batched forward.
     """
     head = pipeline.model.head
     if not isinstance(head, LinearClassifierHead):
         return
     rng = rng_for("probe-training", spec.name, pipeline.model.spec.name)
-    features: List[np.ndarray] = []
+    images: List[np.ndarray] = []
+    questions: List[np.ndarray] = []
     labels: List[int] = []
+    encoder_vqa = pipeline.model.spec.task is Task.ENCODER_VQA
     for class_index in range(spec.num_classes):
         for _ in range(_PROBE_SAMPLES_PER_CLASS):
-            image = space.sample_image(class_index, spec.noise, rng, pixel_noise=spec.pixel_noise)
-            if pipeline.model.spec.task is Task.ENCODER_VQA:
-                question = space.question_tokens(int(rng.integers(0, 1000)))
-                features.append(pipeline.vqa_features(image, question))
-            else:
-                features.append(pipeline.embed_image(image))
+            images.append(
+                space.sample_image(class_index, spec.noise, rng, pixel_noise=spec.pixel_noise)
+            )
+            if encoder_vqa:
+                questions.append(space.question_tokens(int(rng.integers(0, 1000))))
             labels.append(class_index)
-    head.fit(np.stack(features), np.asarray(labels), spec.num_classes)
+    image_stack = np.stack(images)
+    if encoder_vqa:
+        features = pipeline.vqa_features_batch(image_stack, np.stack(questions))
+    else:
+        features = pipeline.embed_images(image_stack)
+    head.fit(features, np.asarray(labels), spec.num_classes)
 
 
 def evaluate(
@@ -71,18 +94,29 @@ def evaluate(
     split: bool = False,
     zoo: Optional[ModelZoo] = None,
     seed: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> EvaluationResult:
-    """Evaluate ``model_name`` on ``benchmark_name``; returns accuracy."""
+    """Evaluate ``model_name`` on ``benchmark_name``; returns accuracy.
+
+    ``batch_size`` caps how many samples run per batched forward; it can
+    only affect speed/memory, never the resulting accuracy.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     spec = get_benchmark(benchmark_name)
     zoo = zoo if zoo is not None else DEFAULT_ZOO
     model = zoo.model(model_name)
     pipeline_cls: Type[_BasePipeline] = SplitPipeline if split else CentralizedPipeline
     pipeline = pipeline_cls(model)
-    return _evaluate_pipeline(pipeline, spec, samples, seed)
+    return _evaluate_pipeline(pipeline, spec, samples, seed, batch_size=batch_size)
 
 
 def _evaluate_pipeline(
-    pipeline: _BasePipeline, spec: BenchmarkSpec, samples: int, seed: int
+    pipeline: _BasePipeline,
+    spec: BenchmarkSpec,
+    samples: int,
+    seed: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> EvaluationResult:
     space = spec.space()
     data = generate_benchmark(spec.name, samples=samples, seed=seed)
@@ -93,34 +127,69 @@ def _evaluate_pipeline(
         )
     _fit_classifier_head(pipeline, spec, space)
 
+    count = len(data)
     if task is Task.IMAGE_TEXT_RETRIEVAL:
         prompts = space.prompt_set()
-        correct = sum(pipeline.retrieve(s.image, prompts) == s.label for s in data)
-        accuracy = correct / len(data)
+        # Embed the zero-shot prompt set ONCE for the whole evaluation, not
+        # once per chunk — prompt embeddings are batch-independent.
+        prompt_embeddings = pipeline.embed_prompt_set(prompts)
+        labels = np.asarray([s.label for s in data])
+        correct = 0
+        for lo, hi in _batches(count, batch_size):
+            images = np.stack([s.image for s in data[lo:hi]])
+            ranks = pipeline.retrieve_batch(images, prompt_embeddings=prompt_embeddings)
+            correct += int(np.sum(ranks == labels[lo:hi]))
+        accuracy = correct / count
     elif task is Task.ENCODER_VQA:
-        correct = sum(pipeline.answer_vqa_encoder(s.image, s.question_tokens) == s.answer for s in data)
-        accuracy = correct / len(data)
+        answers_true = np.asarray([s.answer for s in data])
+        correct = 0
+        for lo, hi in _batches(count, batch_size):
+            images = np.stack([s.image for s in data[lo:hi]])
+            questions = np.stack([s.question_tokens for s in data[lo:hi]])
+            predicted = pipeline.answer_vqa_encoder_batch(images, questions)
+            correct += int(np.sum(predicted == answers_true[lo:hi]))
+        accuracy = correct / count
     elif task is Task.DECODER_VQA:
         answers = space.class_latents
-        correct = sum(
-            pipeline.answer_vqa_decoder(s.image, s.question_tokens, answers) == s.answer
-            for s in data
-        )
-        accuracy = correct / len(data)
+        answers_true = np.asarray([s.answer for s in data])
+        correct = 0
+        for lo, hi in _batches(count, batch_size):
+            images = np.stack([s.image for s in data[lo:hi]])
+            questions = np.stack([s.question_tokens for s in data[lo:hi]])
+            predicted = pipeline.answer_vqa_decoder_batch(images, questions, answers)
+            correct += int(np.sum(predicted == answers_true[lo:hi]))
+        accuracy = correct / count
     elif task is Task.CROSS_MODAL_ALIGNMENT:
-        images = np.stack([s.image for s in data])
-        audios = np.stack([s.audio for s in data])
-        accuracy = pipeline.alignment_accuracy(images, audios)
+        # Chunk the embedding forwards (transformer intermediates scale with
+        # the batch); only the final (samples, latent) matrices — which the
+        # matching metric inherently needs whole — span the full set.
+        image_embeddings = []
+        audio_embeddings = []
+        for lo, hi in _batches(count, batch_size):
+            image_embeddings.append(pipeline.embed_images(np.stack([s.image for s in data[lo:hi]])))
+            audio_embeddings.append(pipeline.embed_audios(np.stack([s.audio for s in data[lo:hi]])))
+        head = pipeline.alignment_head()
+        accuracy = head.match_accuracy(
+            np.concatenate(image_embeddings, axis=0), np.concatenate(audio_embeddings, axis=0)
+        )
     elif task is Task.IMAGE_CLASSIFICATION:
-        correct = sum(pipeline.classify(s.image) == s.label for s in data)
-        accuracy = correct / len(data)
+        labels = np.asarray([s.label for s in data])
+        correct = 0
+        for lo, hi in _batches(count, batch_size):
+            images = np.stack([s.image for s in data[lo:hi]])
+            correct += int(np.sum(pipeline.classify_batch(images) == labels[lo:hi]))
+        accuracy = correct / count
     elif task is Task.IMAGE_CAPTIONING:
         answers = space.class_latents
         correct = 0
-        for s in data:
-            emitted = pipeline.caption(s.image, answers, space.tokens_from_latent)
-            correct += bool(np.array_equal(emitted, s.caption_tokens))
-        accuracy = correct / len(data)
+        for lo, hi in _batches(count, batch_size):
+            images = np.stack([s.image for s in data[lo:hi]])
+            emitted = pipeline.caption_batch(images, answers, space.tokens_from_latent)
+            correct += sum(
+                bool(np.array_equal(tokens, s.caption_tokens))
+                for tokens, s in zip(emitted, data[lo:hi])
+            )
+        accuracy = correct / count
     else:  # pragma: no cover - tasks are exhaustive
         raise ConfigurationError(f"unsupported task {task!r}")
 
@@ -129,5 +198,5 @@ def _evaluate_pipeline(
         benchmark_name=spec.name,
         pipeline="split" if isinstance(pipeline, SplitPipeline) else "centralized",
         accuracy=accuracy,
-        samples=len(data),
+        samples=count,
     )

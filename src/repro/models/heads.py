@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.models.weights import ridge_apply, ridge_fit
+from repro.models.weights import ridge_apply, ridge_apply_rows, ridge_fit
 
 
 def cosine_scores(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
@@ -20,6 +20,21 @@ def cosine_scores(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     q_norm = np.linalg.norm(query) + 1e-12
     c_norms = np.linalg.norm(candidates, axis=1) + 1e-12
     return candidates @ query / (c_norms * q_norm)
+
+
+def cosine_scores_batch(queries: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """(batch, N) cosine scores; row ``i`` bit-matches ``cosine_scores(queries[i], ...)``.
+
+    Two exactness details: each query keeps its own matvec-shaped GEMM slice
+    (stacked 3-D matmul) instead of one ``candidates @ queries.T`` GEMM, and
+    per-query norms use the same 1-D ``np.linalg.norm`` call as the
+    sequential path (the ``axis=``-reduction variant differs in the last
+    ulp from BLAS ``nrm2``).
+    """
+    q_norms = np.array([np.linalg.norm(query) for query in queries]) + 1e-12
+    c_norms = np.linalg.norm(candidates, axis=1) + 1e-12
+    dots = np.matmul(candidates, queries[:, :, None])[:, :, 0]  # (batch, N)
+    return dots / (c_norms[None, :] * q_norms[:, None])
 
 
 class CosineSimilarityHead:
@@ -31,8 +46,15 @@ class CosineSimilarityHead:
         """Index of the best-matching candidate."""
         return int(np.argmax(cosine_scores(image_embedding, text_embeddings)))
 
+    def rank_batch(self, image_embeddings: np.ndarray, text_embeddings: np.ndarray) -> np.ndarray:
+        """(batch,) best-candidate indices; bit-exact vs per-sample :meth:`rank`."""
+        return np.argmax(cosine_scores_batch(image_embeddings, text_embeddings), axis=1)
+
     def scores(self, image_embedding: np.ndarray, text_embeddings: np.ndarray) -> np.ndarray:
         return cosine_scores(image_embedding, text_embeddings)
+
+    def scores_batch(self, image_embeddings: np.ndarray, text_embeddings: np.ndarray) -> np.ndarray:
+        return cosine_scores_batch(image_embeddings, text_embeddings)
 
 
 class InfoNCEHead:
@@ -91,7 +113,17 @@ class LinearClassifierHead:
             raise RuntimeError(f"classifier {self.name!r} is not fitted")
         return int(np.argmax(ridge_apply(self.weights, features)))
 
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """(batch,) predicted classes; bit-exact vs per-row :meth:`predict`."""
+        return np.argmax(self.logits_batch(features), axis=1)
+
     def logits(self, features: np.ndarray) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError(f"classifier {self.name!r} is not fitted")
         return ridge_apply(self.weights, features)
+
+    def logits_batch(self, features: np.ndarray) -> np.ndarray:
+        """(batch, classes) logits with row-exact GEMM slicing."""
+        if self.weights is None:
+            raise RuntimeError(f"classifier {self.name!r} is not fitted")
+        return ridge_apply_rows(self.weights, features)

@@ -4,6 +4,24 @@ These are deliberately small — the substrate's job is to provide *real*
 deterministic computation whose outputs are identical whether modules run
 monolithically or split across (emulated) devices, not to be fast or
 trainable.  All layers take/return ``float64`` arrays.
+
+Every layer accepts inputs with arbitrary *leading* batch axes in addition
+to its per-sample shape: the token-level layers take ``(..., tokens, dim)``
+and :class:`Conv2d` takes ``(..., C, H, W)``.  Batching is implemented as a
+pure stacking axis — every matmul keeps its per-sample 2-D GEMM shape and
+numpy loops the slices in C — so a batched forward is **bit-identical**
+(float64-exact) to running the samples one at a time.  Folding the batch
+into the GEMM row dimension would be faster still but is *not* bit-stable
+across BLAS kernel choices, which would break the split == centralized
+accuracy guarantee the reproduction rests on.
+
+One residual assumption is BLAS-implementation-specific: the sequential
+paths compute some products as matrix-vector ops (``x @ W`` with 1-D
+``x``), which the batched paths replay as ``(1, F)`` GEMM slices.  Their
+bit-equality holds on the supported numpy/OpenBLAS builds and is pinned by
+the exact-equality equivalence suite (``tests/test_models_batched.py``) —
+on a platform where a BLAS accumulates gemv and n=1 gemm differently,
+those tests fail loudly rather than letting accuracies drift silently.
 """
 
 from __future__ import annotations
@@ -55,6 +73,16 @@ class Linear:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return x @ self.weight + self.bias
 
+    def rows(self, x: np.ndarray) -> np.ndarray:
+        """Row-wise forward for a ``(batch, d_in)`` matrix, bit-exact per row.
+
+        ``x @ W`` on a 2-D input is a single GEMM whose result can differ in
+        the last bits from the per-row vector products the sequential path
+        performs.  Keeping each row its own ``(1, d_in) @ (d_in, d_out)``
+        slice of a stacked 3-D matmul reproduces the sequential bits.
+        """
+        return np.matmul(x[:, None, :], self.weight)[:, 0, :] + self.bias
+
     @property
     def param_count(self) -> int:
         return self.weight.size + self.bias.size
@@ -81,7 +109,7 @@ class LayerNorm:
 
 @dataclass
 class MultiHeadAttention:
-    """Standard multi-head self-attention over (tokens, dim) inputs."""
+    """Multi-head self-attention over ``(..., tokens, dim)`` inputs."""
 
     qkv: Linear
     out: Linear
@@ -98,19 +126,20 @@ class MultiHeadAttention:
         )
 
     def __call__(self, x: np.ndarray, causal: bool = False) -> np.ndarray:
-        tokens, dim = x.shape
+        *lead, tokens, dim = x.shape
         head_dim = dim // self.heads
-        qkv = self.qkv(x).reshape(tokens, 3, self.heads, head_dim)
-        q, k, v = qkv[:, 0], qkv[:, 1], qkv[:, 2]  # (tokens, heads, head_dim)
-        # -> (heads, tokens, head_dim)
-        q, k, v = (np.swapaxes(t, 0, 1) for t in (q, k, v))
-        scores = q @ np.swapaxes(k, 1, 2) / np.sqrt(head_dim)  # (heads, T, T)
+        qkv = self.qkv(x).reshape(*lead, tokens, 3, self.heads, head_dim)
+        # (..., tokens, heads, head_dim) per projection
+        q, k, v = qkv[..., 0, :, :], qkv[..., 1, :, :], qkv[..., 2, :, :]
+        # -> (..., heads, tokens, head_dim)
+        q, k, v = (np.swapaxes(t, -3, -2) for t in (q, k, v))
+        scores = q @ np.swapaxes(k, -2, -1) / np.sqrt(head_dim)  # (..., heads, T, T)
         if causal:
             mask = np.triu(np.full((tokens, tokens), -1e9), k=1)
             scores = scores + mask
         attn = softmax(scores, axis=-1)
-        mixed = attn @ v  # (heads, T, head_dim)
-        merged = np.swapaxes(mixed, 0, 1).reshape(tokens, dim)
+        mixed = attn @ v  # (..., heads, T, head_dim)
+        merged = np.swapaxes(mixed, -3, -2).reshape(*lead, tokens, dim)
         return self.out(merged)
 
     @property
@@ -156,7 +185,7 @@ class TransformerBlock:
 
 @dataclass
 class Conv2d:
-    """2-D convolution (stride only, no padding), NCHW single image."""
+    """2-D convolution (stride only, no padding) over ``(..., C, H, W)``."""
 
     weight: np.ndarray  # (out_c, in_c, k, k)
     bias: np.ndarray
@@ -172,21 +201,21 @@ class Conv2d:
         )
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        in_c, height, width = x.shape
+        *lead, in_c, height, width = x.shape
         out_c, _, k, _ = self.weight.shape
         out_h = (height - k) // self.stride + 1
         out_w = (width - k) // self.stride + 1
-        # im2col
-        cols = np.empty((out_h * out_w, in_c * k * k))
+        # im2col across the whole batch at once
+        cols = np.empty((*lead, out_h * out_w, in_c * k * k))
         idx = 0
         for i in range(out_h):
             for j in range(out_w):
-                patch = x[:, i * self.stride: i * self.stride + k, j * self.stride: j * self.stride + k]
-                cols[idx] = patch.ravel()
+                patch = x[..., i * self.stride: i * self.stride + k, j * self.stride: j * self.stride + k]
+                cols[..., idx, :] = patch.reshape(*lead, -1)
                 idx += 1
         flat_w = self.weight.reshape(out_c, -1)
-        out = cols @ flat_w.T + self.bias  # (out_h*out_w, out_c)
-        return out.T.reshape(out_c, out_h, out_w)
+        out = cols @ flat_w.T + self.bias  # (..., out_h*out_w, out_c)
+        return np.swapaxes(out, -2, -1).reshape(*lead, out_c, out_h, out_w)
 
     @property
     def param_count(self) -> int:
@@ -194,8 +223,8 @@ class Conv2d:
 
 
 def global_avg_pool(x: np.ndarray) -> np.ndarray:
-    """(C, H, W) -> (C,) mean pooling."""
-    return x.mean(axis=(1, 2))
+    """(..., C, H, W) -> (..., C) mean pooling."""
+    return x.mean(axis=(-2, -1))
 
 
 def sinusoidal_positions(tokens: int, dim: int) -> np.ndarray:

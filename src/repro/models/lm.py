@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.datasets.latent import LATENT_DIM, VOCAB_SIZE
 from repro.models.layers import Linear, TransformerBlock, sinusoidal_positions
-from repro.models.weights import CALIBRATION_SAMPLES, ridge_apply, ridge_fit
+from repro.models.weights import CALIBRATION_SAMPLES, ridge_apply, ridge_apply_rows, ridge_fit
 from repro.utils.seeding import rng_for
 
 
@@ -52,11 +52,33 @@ class TinyAnswerLM:
             sequence = block(sequence, causal=True)
         return sequence[-1]
 
+    def hidden_batch(self, vision_latents: np.ndarray, question_tokens: np.ndarray) -> np.ndarray:
+        """Final hidden states for (batch, latent) x (batch, Q) inputs.
+
+        One causal transformer forward over the whole batch; row ``i`` is
+        bit-identical to ``hidden(vision_latents[i], question_tokens[i])``.
+        """
+        prefix = self.prefix_proj.rows(vision_latents)  # (batch, dim), row-exact
+        tokens = self.token_table[np.asarray(question_tokens, dtype=int)]
+        sequence = np.concatenate([prefix[:, None, :], tokens], axis=1)
+        sequence = sequence + sinusoidal_positions(sequence.shape[1], self.dim)
+        for block in self.blocks:
+            sequence = block(sequence, causal=True)
+        return sequence[:, -1]
+
     def refined_latent(self, vision_latent: np.ndarray, question_tokens: np.ndarray) -> np.ndarray:
         """The LM's belief about the image concept after reading the question."""
         if self.readout is None:
             raise RuntimeError(f"LM {self.name!r} is not calibrated")
         return ridge_apply(self.readout, self.hidden(vision_latent, question_tokens))
+
+    def refined_latent_batch(
+        self, vision_latents: np.ndarray, question_tokens: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`refined_latent`; row-exact."""
+        if self.readout is None:
+            raise RuntimeError(f"LM {self.name!r} is not calibrated")
+        return ridge_apply_rows(self.readout, self.hidden_batch(vision_latents, question_tokens))
 
     def answer(
         self,
@@ -70,6 +92,27 @@ class TinyAnswerLM:
         scores = answer_latents @ refined / (norms + 1e-12)
         return int(np.argmax(scores))
 
+    def answer_batch(
+        self,
+        vision_latents: np.ndarray,
+        question_tokens: np.ndarray,
+        answer_latents: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`answer`: (batch,) winning answer indices.
+
+        The candidate scoring keeps each query its own matvec-shaped GEMM
+        slice, so every index matches the sequential ranking exactly.
+        """
+        refined = self.refined_latent_batch(vision_latents, question_tokens)  # (batch, L)
+        cand_norms = np.linalg.norm(answer_latents, axis=1)
+        # Per-row 1-D norms, matching the sequential call bit-for-bit (the
+        # axis= reduction differs in the last ulp from BLAS nrm2).
+        query_norms = np.array([np.linalg.norm(row) for row in refined])
+        norms = cand_norms[None, :] * (query_norms[:, None] + 1e-12)
+        dots = np.matmul(answer_latents, refined[:, :, None])[:, :, 0]
+        scores = dots / (norms + 1e-12)
+        return np.argmax(scores, axis=1)
+
     def generate(
         self,
         vision_latent: np.ndarray,
@@ -80,6 +123,17 @@ class TinyAnswerLM:
         """Emit the chosen answer's token sequence (greedy decoding)."""
         choice = self.answer(vision_latent, question_tokens, answer_latents)
         return verbalize(answer_latents[choice])
+
+    def generate_batch(
+        self,
+        vision_latents: np.ndarray,
+        question_tokens: np.ndarray,
+        answer_latents: np.ndarray,
+        verbalize,
+    ) -> List[np.ndarray]:
+        """Batched :meth:`generate`: one emitted token sequence per sample."""
+        choices = self.answer_batch(vision_latents, question_tokens, answer_latents)
+        return [verbalize(answer_latents[int(choice)]) for choice in choices]
 
     # ------------------------------------------------------------------
     # Calibration (pseudo-pretraining)
@@ -94,11 +148,14 @@ class TinyAnswerLM:
         rng = rng_for("lm-calibration", self.name)
         latents = rng.normal(0.0, 1.0, size=(samples, LATENT_DIM))
         latents /= np.linalg.norm(latents, axis=1, keepdims=True)
-        hidden_rows = []
+        noisy_rows = []
+        questions = []
         for latent in latents:
             # Light prefix jitter regularizes the readout without flattening
             # the fitted map (heavier jitter measurably hurts recovery).
-            noisy = latent + rng.normal(0.0, 0.05, size=LATENT_DIM)
-            question = rng.integers(0, VOCAB_SIZE, size=8)
-            hidden_rows.append(self.hidden(noisy, question))
-        self.readout = ridge_fit(np.stack(hidden_rows), latents)
+            # RNG draws stay in the original per-sample order.
+            noisy_rows.append(latent + rng.normal(0.0, 0.05, size=LATENT_DIM))
+            questions.append(rng.integers(0, VOCAB_SIZE, size=8))
+        # One batched causal forward; bit-identical to the sequential loop.
+        hidden = self.hidden_batch(np.stack(noisy_rows), np.stack(questions))
+        self.readout = ridge_fit(hidden, latents)

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.datasets.latent import TOKENS_PER_PROMPT, VOCAB_SIZE, _TEXT_BINS
 from repro.models.layers import TransformerBlock, sinusoidal_positions
-from repro.models.weights import ridge_apply
+from repro.models.weights import ridge_apply, ridge_apply_rows
 from repro.utils.seeding import rng_for
 
 
@@ -32,6 +32,26 @@ def _pretrained_token_table(rng: np.random.Generator, dim: int) -> np.ndarray:
     table[:, 0] = centers_a
     table[:, 1] = centers_b
     return table
+
+
+def pad_token_rows(tokens: np.ndarray) -> np.ndarray:
+    """Pad/truncate token sequences to :data:`TOKENS_PER_PROMPT`.
+
+    THE canonical rule every text path shares — the encoder forwards and
+    the serving-side batch aggregation must normalize identically, or a
+    mixed-length batch would diverge from per-sample encoding.  Accepts a
+    single 1-D sequence or a (batch, any_len) stack; pads with token 0.
+    """
+    ids = np.asarray(tokens, dtype=int)
+    single = ids.ndim == 1
+    if single:
+        ids = ids[None, :]
+    batch, length = ids.shape
+    if length < TOKENS_PER_PROMPT:
+        pad = np.zeros((batch, TOKENS_PER_PROMPT - length), dtype=int)
+        ids = np.concatenate([ids, pad], axis=1)
+    ids = ids[:, :TOKENS_PER_PROMPT]
+    return ids[0] if single else ids
 
 
 class TinyTextEncoder:
@@ -53,10 +73,7 @@ class TinyTextEncoder:
         Sequences are padded/truncated to :data:`TOKENS_PER_PROMPT` so the
         feature width (and thus the calibrated projection) is fixed.
         """
-        ids = np.asarray(tokens, dtype=int)
-        if ids.shape[0] < TOKENS_PER_PROMPT:
-            ids = np.concatenate([ids, np.zeros(TOKENS_PER_PROMPT - ids.shape[0], dtype=int)])
-        ids = ids[:TOKENS_PER_PROMPT]
+        ids = pad_token_rows(np.asarray(tokens, dtype=int))
         embedded = self.token_table[ids]
         # Residual skip around the transformer keeps the (informative) raw
         # embeddings visible to the linear readout.
@@ -66,12 +83,38 @@ class TinyTextEncoder:
         combined = np.concatenate([embedded, hidden], axis=1)
         return combined.reshape(-1)
 
+    def features_batch(self, prompts: np.ndarray) -> np.ndarray:
+        """Backbone features for (batch, tokens) sequences, row-exact.
+
+        Applies the same pad/truncate rule as :meth:`features` per row, then
+        runs ONE batched transformer forward over the stack.
+        """
+        ids = np.asarray(prompts, dtype=int)
+        if ids.ndim != 2:
+            raise ValueError("prompts must be 2-D (batch, tokens)")
+        ids = pad_token_rows(ids)
+        embedded = self.token_table[ids]
+        hidden = embedded + sinusoidal_positions(embedded.shape[1], self.dim)
+        for block in self.blocks:
+            hidden = block(hidden)
+        combined = np.concatenate([embedded, hidden], axis=-1)
+        return combined.reshape(ids.shape[0], -1)
+
     def __call__(self, tokens: np.ndarray) -> np.ndarray:
         """Embed one prompt into the shared latent space."""
         if self.projection is None:
             raise RuntimeError(f"encoder {self.name!r} is not calibrated")
         return ridge_apply(self.projection, self.features(tokens))
 
+    def embed_batch(self, prompts: np.ndarray) -> np.ndarray:
+        """Embed (batch, tokens) prompts -> (batch, latent), row-exact."""
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply_rows(self.projection, self.features_batch(prompts))
+
     def encode_prompt_set(self, prompts: np.ndarray) -> np.ndarray:
-        """Embed a (num_prompts, tokens) prompt set -> (num_prompts, latent)."""
-        return np.stack([self(prompt) for prompt in prompts])
+        """Embed a (num_prompts, tokens) prompt set -> (num_prompts, latent).
+
+        One batched forward; each row is bit-identical to ``self(prompt)``.
+        """
+        return self.embed_batch(prompts)

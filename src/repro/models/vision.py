@@ -21,12 +21,17 @@ from repro.models.layers import (
     relu,
     sinusoidal_positions,
 )
-from repro.models.weights import ridge_apply
+from repro.models.weights import ridge_apply, ridge_apply_rows
 from repro.utils.seeding import rng_for
 
 
 class TinyViTEncoder:
-    """Patchify -> linear embed -> transformer blocks -> mean pool."""
+    """Patchify -> linear embed -> transformer blocks -> mean pool.
+
+    Both encoders expose a batched forward (:meth:`features_batch` /
+    :meth:`embed_batch`) that is bit-identical to looping the per-sample
+    methods — the batch is a pure stacking axis through every layer.
+    """
 
     def __init__(self, name: str, dim: int, depth: int, heads: int = 4, patch: int = 8) -> None:
         channels, height, width = IMAGE_SHAPE
@@ -58,11 +63,30 @@ class TinyViTEncoder:
             tokens = block(tokens)
         return tokens.mean(axis=0)
 
+    def features_batch(self, images: np.ndarray) -> np.ndarray:
+        """Backbone features for a (batch, C, H, W) stack -> (batch, dim)."""
+        batch, channels, height, width = images.shape
+        p = self.patch
+        patches = []
+        for i in range(0, height, p):
+            for j in range(0, width, p):
+                patches.append(images[:, :, i:i + p, j:j + p].reshape(batch, -1))
+        tokens = self.embed(np.stack(patches, axis=1)) + self.positions
+        for block in self.blocks:
+            tokens = block(tokens)
+        return tokens.mean(axis=1)
+
     def __call__(self, image: np.ndarray) -> np.ndarray:
         """Embed one image into the shared latent space."""
         if self.projection is None:
             raise RuntimeError(f"encoder {self.name!r} is not calibrated")
         return ridge_apply(self.projection, self.features(image))
+
+    def embed_batch(self, images: np.ndarray) -> np.ndarray:
+        """Embed a (batch, C, H, W) stack -> (batch, latent), row-exact."""
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply_rows(self.projection, self.features_batch(images))
 
 
 class TinyResNetEncoder:
@@ -89,7 +113,22 @@ class TinyResNetEncoder:
         pooled = global_avg_pool(x)
         return gelu(self.head(pooled))
 
+    def features_batch(self, images: np.ndarray) -> np.ndarray:
+        """Backbone features for a (batch, C, H, W) stack -> (batch, dim)."""
+        x = images
+        for conv in self.convs:
+            x = relu(conv(x))
+        pooled = global_avg_pool(x)
+        # Row-wise head keeps each sample's GEMM shape (bit-exactness).
+        return gelu(self.head.rows(pooled))
+
     def __call__(self, image: np.ndarray) -> np.ndarray:
         if self.projection is None:
             raise RuntimeError(f"encoder {self.name!r} is not calibrated")
         return ridge_apply(self.projection, self.features(image))
+
+    def embed_batch(self, images: np.ndarray) -> np.ndarray:
+        """Embed a (batch, C, H, W) stack -> (batch, latent), row-exact."""
+        if self.projection is None:
+            raise RuntimeError(f"encoder {self.name!r} is not calibrated")
+        return ridge_apply_rows(self.projection, self.features_batch(images))

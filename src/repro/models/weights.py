@@ -14,7 +14,7 @@ sees class prototypes, so evaluation is genuinely zero-shot.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -52,6 +52,21 @@ def ridge_apply(weights: np.ndarray, features: np.ndarray) -> np.ndarray:
     return out[0] if single else out
 
 
+def ridge_apply_rows(weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+    """Apply a :func:`ridge_fit` solution to each row of ``(batch, F)``.
+
+    Unlike the plain 2-D :func:`ridge_apply` (one big GEMM), this keeps each
+    row its own ``(1, F+1)`` GEMM slice of a stacked 3-D matmul, so row ``i``
+    of the result is **bit-identical** to ``ridge_apply(weights, features[i])``
+    regardless of the batch size.  The batched inference paths rely on this
+    for the exact batched == sequential guarantee.
+    """
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D (batch, F)")
+    augmented = np.concatenate([features, np.ones((features.shape[0], 1))], axis=1)
+    return np.matmul(augmented[:, None, :], weights)[:, 0, :]
+
+
 def calibrate_projection(
     backbone_features: Callable[[np.ndarray], np.ndarray],
     render: Callable[[np.ndarray], np.ndarray],
@@ -59,21 +74,31 @@ def calibrate_projection(
     seed_name: str,
     samples: int = CALIBRATION_SAMPLES,
     observation_noise: float = 0.0,
+    backbone_features_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> np.ndarray:
     """Fit an encoder's output projection: features(render(z)) -> z.
 
     ``seed_name`` makes the calibration set deterministic per module, so a
     shared module has *identical* weights everywhere it is reused — the
     bit-equality the sharing architecture relies on.
+
+    ``backbone_features_batch`` optionally pushes all rendered observations
+    through the backbone as ONE batched forward.  Renders and noise draws
+    keep the exact per-sample RNG order, and the batched forwards are
+    bit-identical to the sequential ones, so the fitted projection has the
+    same bits either way — batching is purely a speedup.
     """
     rng = rng_for("calibration", seed_name)
     latents = rng.normal(0.0, 1.0, size=(samples, latent_dim))
     latents /= np.linalg.norm(latents, axis=1, keepdims=True)
-    feature_rows = []
+    observations = []
     for latent in latents:
         observation = render(latent)
         if observation_noise > 0:
             observation = observation + rng.normal(0.0, observation_noise, size=observation.shape)
-        feature_rows.append(backbone_features(observation))
-    features = np.stack(feature_rows)
+        observations.append(observation)
+    if backbone_features_batch is not None:
+        features = backbone_features_batch(np.stack(observations))
+    else:
+        features = np.stack([backbone_features(observation) for observation in observations])
     return ridge_fit(features, latents)

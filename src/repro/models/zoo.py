@@ -103,6 +103,7 @@ class ModelZoo:
                 LATENT_DIM,
                 seed_name=spec.name,
                 observation_noise=_CALIBRATION_OBS_NOISE,
+                backbone_features_batch=encoder.features_batch,
             )
             return encoder
         if kind is ModuleKind.TEXT_ENCODER:
@@ -113,6 +114,7 @@ class ModelZoo:
                 _CANONICAL.tokens_from_latent,
                 LATENT_DIM,
                 seed_name=spec.name,
+                backbone_features_batch=encoder.features_batch,
             )
             return encoder
         if kind is ModuleKind.AUDIO_ENCODER:
@@ -124,6 +126,7 @@ class ModelZoo:
                 LATENT_DIM,
                 seed_name=spec.name,
                 observation_noise=_CALIBRATION_OBS_NOISE,
+                backbone_features_batch=encoder.features_batch,
             )
             return encoder
         if kind is ModuleKind.LANGUAGE_MODEL:

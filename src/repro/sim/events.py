@@ -81,14 +81,19 @@ class Timeout(Event):
 
 
 class Condition(Event):
-    """Base for composite events over a list of child events."""
+    """Base for composite events over a list of child events.
+
+    Subclasses define how the empty list behaves via ``_on_empty``:
+    "all of nothing" is vacuously true (fires immediately), while "any of
+    nothing" can never fire and is rejected up front.
+    """
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._pending = 0
         if not self.events:
-            self.succeed([])
+            self._on_empty()
             return
         for event in self.events:
             if not event.processed:
@@ -102,6 +107,9 @@ class Condition(Event):
         if not self._triggered:
             self._check(initial=False)
 
+    def _on_empty(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
     def _check(self, initial: bool) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -111,8 +119,12 @@ class AllOf(Condition):
 
     Completion is judged by ``processed`` (the event actually fired), not
     ``triggered`` — a :class:`Timeout` is *triggered* the moment it is
-    created but only fires when the clock reaches it.
+    created but only fires when the clock reaches it.  ``AllOf([])`` is
+    vacuously satisfied and fires immediately with value ``[]``.
     """
+
+    def _on_empty(self) -> None:
+        self.succeed([])
 
     def _check(self, initial: bool) -> None:
         if all(event.processed for event in self.events):
@@ -120,7 +132,14 @@ class AllOf(Condition):
 
 
 class AnyOf(Condition):
-    """Fires when *any* child event fires; value is the first value seen."""
+    """Fires when *any* child event fires; value is the first value seen.
+
+    "Any of nothing" can never fire: a process waiting on it would deadlock
+    silently, so an empty event list is rejected with :class:`ValueError`.
+    """
+
+    def _on_empty(self) -> None:
+        raise ValueError("AnyOf requires at least one event ('any of nothing' never fires)")
 
     def _check(self, initial: bool) -> None:
         for event in self.events:

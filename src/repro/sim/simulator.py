@@ -53,7 +53,11 @@ class Simulator:
         return AllOf(self, events)
 
     def any_of(self, events: List[Event]) -> AnyOf:
-        """Select: an event firing when any event in ``events`` fires."""
+        """Select: an event firing when any event in ``events`` fires.
+
+        ``events`` must be non-empty — "any of nothing" can never fire and
+        raises :class:`ValueError` (see :class:`repro.sim.events.AnyOf`).
+        """
         return AnyOf(self, events)
 
     # ------------------------------------------------------------------

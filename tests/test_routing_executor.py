@@ -118,3 +118,34 @@ class TestExecutionResultStats:
         assert empty.mean_latency == 0.0
         assert empty.max_latency == 0.0
         assert empty.makespan == 0.0
+
+    def test_outcome_index_tracks_appends(self):
+        # The request_id index refreshes when outcomes are appended after a
+        # lookup (the executors append during the simulation run).
+        engine = deployed_engine(["clip-vit-b16"])
+        first = engine.request("clip-vit-b16")
+        result = engine.serve([first])
+        assert result.outcome_for(first.request_id).request is first
+
+        engine2 = deployed_engine(["clip-vit-b16"])
+        second = engine2.request("clip-vit-b16")
+        later = engine2.serve([second]).outcomes[0]
+        result.outcomes.append(later)
+        assert result.outcome_for(second.request_id) is later
+
+    def test_latencies_cached_and_consistent(self):
+        engine = deployed_engine(["clip-vit-b16"])
+        result = engine.serve([engine.request("clip-vit-b16") for _ in range(3)])
+        first = result.latencies
+        assert result.latencies == first  # stable across accesses
+        assert result.mean_latency == pytest.approx(sum(first) / len(first))
+
+    def test_latencies_cache_invalidated_by_reorder(self):
+        # Reordering outcomes in place (same length) must not serve a stale
+        # latency list from the cache.
+        engine = deployed_engine(["clip-vit-b16"])
+        result = engine.serve([engine.request("clip-vit-b16") for _ in range(3)])
+        before = result.latencies  # builds the cache
+        result.outcomes.sort(key=lambda o: -o.latency)
+        assert result.latencies == [o.latency for o in result.outcomes]
+        assert sorted(result.latencies) == sorted(before)

@@ -26,6 +26,27 @@ class TestSimulatorBasics:
         sim.run(until=3.0)
         assert sim.now == 3.0
 
+    def test_run_until_leaves_queue_intact(self):
+        # Stopping early must not drop the pending event: resuming run()
+        # still fires it at its original time.
+        sim = Simulator()
+        event = sim.timeout(10.0, value="later")
+        sim.run(until=3.0)
+        assert not event.processed
+        sim.run()
+        assert sim.now == 10.0
+        assert event.processed
+        assert event.value == "later"
+
+    def test_run_until_between_events_processes_due_ones(self):
+        sim = Simulator()
+        first = sim.timeout(1.0)
+        second = sim.timeout(5.0)
+        sim.run(until=2.0)
+        assert first.processed
+        assert not second.processed
+        assert sim.now == 2.0
+
     def test_step_without_events_raises(self):
         with pytest.raises(RuntimeError):
             Simulator().step()
@@ -58,6 +79,15 @@ class TestProcesses:
             return got
 
         assert sim.run_process(proc()) == "payload"
+
+    def test_timeout_value_default_none(self):
+        sim = Simulator()
+
+        def proc():
+            got = yield sim.timeout(0.5)
+            return got
+
+        assert sim.run_process(proc()) is None
 
     def test_sequential_timeouts_accumulate(self):
         sim = Simulator()
@@ -129,6 +159,21 @@ class TestConditions:
             return sim.now
 
         assert sim.run_process(proc()) == 0.0
+
+    def test_any_of_empty_rejected(self):
+        # "Any of nothing" can never fire; waiting on it would deadlock.
+        sim = Simulator()
+        with pytest.raises(ValueError, match="at least one event"):
+            sim.any_of([])
+
+    def test_any_of_delivers_first_value(self):
+        sim = Simulator()
+
+        def proc():
+            value = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+            return value
+
+        assert sim.run_process(proc()) == "fast"
 
 
 class TestEventSemantics:

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links (CI docs-check job).
+
+Scans every ``*.md`` file in the repository for inline links and images
+``[text](target)`` and verifies that each *relative* target exists on disk
+(anchors are stripped; external ``scheme://`` links and pure in-page
+``#anchor`` links are skipped).  Exits 1 listing every broken link.
+
+Run:  python scripts/check_markdown_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# Inline links/images, skipping ![alt] vs [text] uniformly; non-greedy text,
+# target up to the first unescaped ')'.  Fenced code blocks are stripped
+# first so example links in code aren't checked.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+#: Directories never scanned (build junk, VCS internals).
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".venv", "node_modules", "build", "dist"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    failures: List[Tuple[Path, str]] = []
+    for path in iter_markdown(root):
+        text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if _SCHEME.match(target) or target.startswith("#"):
+                continue  # external URL or in-page anchor
+            plain = target.split("#", 1)[0]
+            if not plain:
+                continue
+            resolved = (path.parent / plain).resolve()
+            if not resolved.exists():
+                failures.append((path.relative_to(root), target))
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = broken_links(root)
+    checked = sum(1 for _ in iter_markdown(root))
+    if failures:
+        print(f"docs-check: {len(failures)} broken intra-repo link(s):")
+        for path, target in failures:
+            print(f"  {path}: ({target})")
+        return 1
+    print(f"docs-check: OK ({checked} markdown files, no broken intra-repo links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,4 +1,4 @@
-"""Command-line experiment runner: ``python -m repro <experiment>``.
+"""Command-line runner: ``python -m repro <experiment>`` and ``serve``.
 
 Regenerates any paper artifact from the terminal:
 
@@ -6,6 +6,10 @@ Regenerates any paper artifact from the terminal:
     python -m repro table10     # multi-task sharing ledger
     python -m repro fig3        # inference timeline
     python -m repro all         # everything (slow: includes accuracy runs)
+
+And runs the online serving runtime (see docs/serving.md):
+
+    python -m repro serve --workload bursty --duration 60 --churn 0.1
 """
 
 from __future__ import annotations
@@ -96,15 +100,112 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 }
 
 
+#: Default model mix for `serve`: three tasks sharing the ViT-B/16 tower.
+DEFAULT_SERVE_MODELS = "clip-vit-b16,encoder-vqa-small,image-classification-vitb16"
+
+
+def serve_main(argv=None) -> int:
+    """The ``serve`` subcommand: run the online serving runtime."""
+    from repro.serving import (
+        WORKLOAD_KINDS,
+        ServingRuntime,
+        SLOPolicy,
+        WorkloadGenerator,
+        generate_churn,
+    )
+
+    def positive(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+        return value
+
+    def non_negative(text: str) -> float:
+        value = float(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+        return value
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a dynamic request stream on the emulated edge cluster.",
+    )
+    parser.add_argument("--workload", choices=WORKLOAD_KINDS, default="poisson",
+                        help="arrival process shape (default: poisson)")
+    parser.add_argument("--rate", type=positive, default=0.4,
+                        help="base arrival rate in requests/second (default: 0.4)")
+    parser.add_argument("--duration", type=positive, default=60.0,
+                        help="arrival window in simulated seconds (default: 60)")
+    parser.add_argument("--churn", type=non_negative, default=0.0,
+                        help="device fail/recover events per simulated second (default: 0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="determinism seed for workload and churn (default: 0)")
+    parser.add_argument("--models", default=DEFAULT_SERVE_MODELS,
+                        help=f"comma-separated catalog models (default: {DEFAULT_SERVE_MODELS})")
+    parser.add_argument("--slo-multiplier", type=positive, default=3.0,
+                        help="deadline = multiplier x isolated latency (default: 3.0)")
+    parser.add_argument("--no-admission", action="store_true",
+                        help="admit everything (no SLO-based load shedding)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batcher chunk cap (default: 8)")
+    parser.add_argument("--batch-window", type=non_negative, default=0.0,
+                        help="micro-batch accumulation window in seconds (default: 0)")
+    args = parser.parse_args(argv)
+
+    from repro.core.catalog import MODEL_CATALOG
+
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    if not models:
+        parser.error("--models needs at least one catalog model name")
+    unknown = [name for name in models if name not in MODEL_CATALOG]
+    if unknown:
+        parser.error(
+            f"unknown model(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(MODEL_CATALOG))}"
+        )
+    if args.max_batch < 1:
+        parser.error("--max-batch must be >= 1")
+    if args.slo_multiplier < 1.0:
+        parser.error("--slo-multiplier must be >= 1")
+    trace = WorkloadGenerator(
+        models,
+        kind=args.workload,
+        rate_rps=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+    ).generate()
+    runtime = ServingRuntime(
+        models,
+        slo=SLOPolicy(latency_multiplier=args.slo_multiplier, admission=not args.no_admission),
+        max_batch_size=args.max_batch,
+        batch_window_s=args.batch_window,
+    )
+    churn = generate_churn(
+        runtime.device_names,
+        requester=runtime.requester,
+        rate_per_s=args.churn,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    report = runtime.run(trace, churn)
+    print(report.render())
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate S2M3 paper artifacts (tables, figures, stats).",
+        epilog="Also: 'python -m repro serve --help' runs the online serving runtime.",
     )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate ('all' runs everything)",
+        help="which artifact to regenerate ('all' runs everything); "
+        "see also the 'serve' subcommand",
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -79,7 +79,13 @@ def build_cluster(
     network: Optional[Network] = None,
     compute_model: ComputeModel = DEFAULT_COMPUTE_MODEL,
 ) -> EdgeCluster:
-    """Assemble a cluster from explicit device profiles."""
+    """Assemble a cluster from explicit device profiles.
+
+    Units carried by the pieces: device ``memory_bytes`` budgets are
+    **bytes** of fp16 weights, network link speeds are **bytes/second**,
+    and the cluster's simulator clock ticks in **seconds**.  A fresh
+    :class:`~repro.sim.Simulator` (clock at 0) is created per call.
+    """
     sim = Simulator()
     trace = TraceRecorder()
     net = network if network is not None else Network()
@@ -97,6 +103,8 @@ def build_testbed(
     Defaults to the four-edge-device PAN deployment (no cloud server) used
     for the headline S2M3 rows; pass
     ``testbed_device_names()`` for the "+ Server" variant of Table IX.
+    Device memory budgets are **bytes**, link speeds **bytes/second**, and
+    all simulated times **seconds** (see :func:`build_cluster`).
     """
     names = list(device_names) if device_names is not None else edge_device_names()
     if requester not in names:

@@ -66,7 +66,18 @@ def _dedicated_instances(
 
 @dataclass(frozen=True)
 class DeploymentReport:
-    """What got deployed where, and what it cost."""
+    """What got deployed where, and what it cost.
+
+    Attributes:
+        placement: The validated module → host assignment.
+        total_params: Parameters resident across the cluster (count; divide
+            by 1e6 for the paper's "M" columns).
+        max_device_params: Largest per-device resident parameter count.
+        per_device_params: Resident parameter count per device name.
+        load_seconds: End-to-end model-loading time in **seconds** — the
+            per-device maximum, since devices load in parallel.
+        per_device_load_seconds: Serial loading time per device, **seconds**.
+    """
 
     placement: Placement
     total_params: int
@@ -79,6 +90,10 @@ class DeploymentReport:
 @dataclass
 class S2M3Engine:
     """End-to-end S2M3 on one cluster.
+
+    All durations produced by the engine (deployment ``load_seconds``,
+    estimate/serve latencies) are **seconds** of simulated time; module
+    sizes are **bytes** of fp16 weights; parameter figures are raw counts.
 
     Attributes:
         cluster: Live cluster (fresh per experiment; deployment mutates it).

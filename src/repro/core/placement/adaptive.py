@@ -29,7 +29,12 @@ from repro.utils.errors import PlacementError
 
 @dataclass(frozen=True)
 class MigrationDecision:
-    """Outcome of one adaptation round."""
+    """Outcome of one adaptation round.
+
+    ``old_latency``/``new_latency`` are mean per-request latencies in
+    **seconds** (``inf`` when the old placement is unservable);
+    ``switching_cost_seconds`` is the module re-loading time in **seconds**.
+    """
 
     migrate: bool
     reason: str
@@ -46,8 +51,12 @@ class MigrationDecision:
 class AdaptivePlacementController:
     """Decides whether to re-place modules when the device pool changes.
 
-    ``expected_requests`` is the volume over which a migration must pay for
-    itself: migrate iff ``gain * expected_requests > switching_cost``.
+    ``expected_requests`` is the volume (a request count) over which a
+    migration must pay for itself: migrate iff
+    ``gain_seconds_per_request * expected_requests > switching_cost_seconds``.
+    All latencies and switching costs the controller computes are in
+    **seconds**; the gains in :class:`MigrationDecision` are seconds per
+    request.
     """
 
     def __init__(
@@ -148,7 +157,11 @@ class AdaptivePlacementController:
 
 @dataclass(frozen=True)
 class ChurnEvent:
-    """One availability change: the device pool becomes ``device_names``."""
+    """One availability change: the device pool becomes ``device_names``.
+
+    ``time`` is in **seconds** on the experiment's clock (informational —
+    the batch churn replay is epoch-based, not discrete-event driven).
+    """
 
     time: float
     device_names: Tuple[str, ...]

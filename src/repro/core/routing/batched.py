@@ -31,11 +31,15 @@ from repro.cluster.topology import EdgeCluster
 from repro.core.catalog import get_module
 from repro.core.modules import ModuleKind
 from repro.core.placement.problem import Placement
-from repro.core.routing.executor import ExecutionResult, RequestOutcome
+from repro.core.routing.executor import (
+    ExecutionResult,
+    RequestOutcome,
+    UplinkPool,
+    transfer_proc,
+)
 from repro.core.routing.latency import LatencyModel, RoutingDecision
 from repro.core.tasks import Task
-from repro.sim import Resource
-from repro.sim.trace import CATEGORY_HEAD, CATEGORY_TRANSMISSION
+from repro.sim.trace import CATEGORY_HEAD
 from repro.utils.errors import ConfigurationError, RoutingError
 
 
@@ -211,12 +215,7 @@ def execute_batched_burst(
         backend.reset()  # a reused backend must not accumulate past bursts
     result = ExecutionResult(trace=cluster.trace)
     sim = cluster.sim
-    nic: Dict[str, Resource] = {}
-
-    def nic_for(source: str) -> Resource:
-        if source not in nic:
-            nic[source] = Resource(sim, capacity=1)
-        return nic[source]
+    nics = UplinkPool(sim)
 
     # ------------------------------------------------------------------
     # Route everything up front, then group encoder work by (module, host).
@@ -249,22 +248,13 @@ def execute_batched_burst(
             for request in chunk:
                 modality = module.modality or "image"
                 payload = request.model.payload_bytes(modality)
-                uplink = nic_for(request.source)
+                uplink = nics.get(request.source)
                 token = yield uplink.acquire()
                 try:
-                    seconds = cluster.network.transfer_seconds(request.source, host, payload)
-                    if seconds > 0:
-                        start = sim.now
-                        yield sim.timeout(seconds)
-                        if cluster.trace is not None:
-                            cluster.trace.record(
-                                request.source,
-                                CATEGORY_TRANSMISSION,
-                                f"{modality}->{host}",
-                                start,
-                                sim.now,
-                                request.request_id,
-                            )
+                    yield from transfer_proc(
+                        cluster, request.source, host, payload,
+                        f"{modality}->{host}", request.request_id,
+                    )
                 finally:
                     uplink.release(token)
             # One batched execution for the whole chunk.  Work scales use the

@@ -29,9 +29,52 @@ from repro.sim import Resource, TraceRecorder
 from repro.sim.trace import CATEGORY_HEAD, CATEGORY_TRANSMISSION
 
 
+class UplinkPool:
+    """Per-source uplink NICs (capacity-1 resources), created lazily.
+
+    Concurrent modality input sends from the same requester serialize on its
+    NIC; shared by the FIFO executor, the burst micro-batcher, and the
+    online serving runtime so the uplink model cannot drift between them.
+    """
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._nics: Dict[str, Resource] = {}
+
+    def get(self, source: str) -> Resource:
+        if source not in self._nics:
+            self._nics[source] = Resource(self._sim, capacity=1)
+        return self._nics[source]
+
+
+def transfer_proc(
+    cluster: EdgeCluster,
+    src: str,
+    dst: str,
+    payload_bytes: int,
+    label: str,
+    request_id: Optional[int],
+):
+    """Process generator: one ``src -> dst`` network transfer of
+    ``payload_bytes`` **bytes**, recorded on the cluster trace."""
+    seconds = cluster.network.transfer_seconds(src, dst, payload_bytes)
+    start = cluster.sim.now
+    if seconds > 0:
+        yield cluster.sim.timeout(seconds)
+        if cluster.trace is not None:
+            cluster.trace.record(
+                src, CATEGORY_TRANSMISSION, label, start, cluster.sim.now, request_id
+            )
+
+
 @dataclass(frozen=True)
 class RequestOutcome:
-    """Completion record for one executed request."""
+    """Completion record for one executed request.
+
+    ``start_time`` and ``finish_time`` are simulated clock readings in
+    **seconds**; ``start_time`` is when the request began executing (its
+    arrival time, unless it arrived mid-simulation).
+    """
 
     request: InferenceRequest
     routing: RoutingDecision
@@ -40,13 +83,16 @@ class RequestOutcome:
 
     @property
     def latency(self) -> float:
-        """Arrival-to-completion latency (includes any queueing)."""
+        """Arrival-to-completion latency in **seconds** (includes queueing)."""
         return self.finish_time - self.request.arrival_time
 
 
 @dataclass
 class ExecutionResult:
     """Outcomes plus the recorded timeline for a batch of requests.
+
+    Every latency-flavoured accessor (``latencies``, ``mean_latency``,
+    ``max_latency``, ``makespan``) is in **seconds** of simulated time.
 
     ``outputs`` optionally carries *real* per-request inference results
     (answer indices, class predictions, ...) keyed by request id when the
@@ -136,40 +182,28 @@ def execute_requests(
 ) -> ExecutionResult:
     """Run ``requests`` to completion on the cluster; returns outcomes + trace.
 
+    Request ``arrival_time`` values are **seconds** on the cluster's
+    simulated clock; all produced latencies are **seconds** too.
     ``service_noise(module, device) -> factor`` optionally perturbs service
-    times (used by the randomized optimality trials).  ``router`` overrides
-    the default fastest-host rule (Eq. 7) — e.g. the queue-aware router of
+    times with a dimensionless multiplier (used by the randomized
+    optimality trials).  ``router`` overrides the default fastest-host rule
+    (Eq. 7) — e.g. the queue-aware router of
     :mod:`repro.core.routing.queue_aware`.  The cluster's modules must
     already be loaded (see the engine's ``deploy``).
     """
     result = ExecutionResult(trace=cluster.trace)
     sim = cluster.sim
-    # One uplink NIC per source device, created lazily: concurrent modality
-    # input sends from the same requester serialize on it.
-    nics: Dict[str, Resource] = {}
-
-    def nic_for(source: str) -> Resource:
-        if source not in nics:
-            nics[source] = Resource(sim, capacity=1)
-        return nics[source]
-
-    def transfer(src: str, dst: str, payload: int, label: str, request_id: int):
-        seconds = cluster.network.transfer_seconds(src, dst, payload)
-        start = sim.now
-        if seconds > 0:
-            yield sim.timeout(seconds)
-            if cluster.trace is not None:
-                cluster.trace.record(src, CATEGORY_TRANSMISSION, label, start, sim.now, request_id)
+    nics = UplinkPool(sim)
 
     def encoder_path(request: InferenceRequest, encoder, device_name: str, head_device: str):
         modality = encoder.modality or "image"
         payload = request.model.payload_bytes(modality)
         # Serialize input sends on the requester's uplink.
-        nic = nic_for(request.source)
+        nic = nics.get(request.source)
         token = yield nic.acquire()
         try:
-            yield from transfer(
-                request.source, device_name, payload,
+            yield from transfer_proc(
+                cluster, request.source, device_name, payload,
                 f"{modality}->{device_name}", request.request_id,
             )
         finally:
@@ -183,8 +217,8 @@ def execute_requests(
             label=f"encode {encoder.name}",
             service_scale=scale,
         )
-        yield from transfer(
-            device_name, head_device, encoder.output_bytes,
+        yield from transfer_proc(
+            cluster, device_name, head_device, encoder.output_bytes,
             f"emb->{head_device}", request.request_id,
         )
 

@@ -1,0 +1,57 @@
+"""Online serving runtime: dynamic workloads, SLOs, and device churn.
+
+The batch experiments evaluate one-shot request sets; this package serves
+*streams*.  Compose it from four pieces:
+
+- :class:`WorkloadGenerator` / :class:`ArrivalTrace` — seeded Poisson,
+  bursty (MMPP), and diurnal arrival processes over the model catalog.
+- :class:`SLOPolicy` — per-request deadlines and admission control.
+- :func:`generate_churn` / :class:`DeviceChurnEvent` — seeded device
+  fail/recover schedules.
+- :class:`ServingRuntime` — drives the discrete-event simulator with the
+  queue-aware router, per-(module, device) micro-batching, SLO admission,
+  and adaptive re-placement under churn; returns a :class:`ServingReport`
+  with p50/p95/p99 latency, goodput, and SLO attainment.
+
+Quickstart::
+
+    from repro.serving import ServingRuntime, WorkloadGenerator, generate_churn
+
+    models = ["clip-vit-b16", "encoder-vqa-small"]
+    trace = WorkloadGenerator(models, kind="bursty", rate_rps=0.4,
+                              duration_s=60.0, seed=0).generate()
+    churn = generate_churn(["desktop", "laptop", "jetson-b", "jetson-a"],
+                           requester="jetson-a", rate_per_s=0.05,
+                           duration_s=60.0, seed=0)
+    report = ServingRuntime(models).run(trace, churn)
+    print(report.render())
+"""
+
+from repro.serving.churn import FAIL, RECOVER, DeviceChurnEvent, generate_churn
+from repro.serving.report import (
+    ChurnRecord,
+    MigrationRecord,
+    RequestRecord,
+    ServingReport,
+)
+from repro.serving.runtime import ServingRuntime, StreamingQueueAwareRouter
+from repro.serving.slo import SLOPolicy
+from repro.serving.workload import WORKLOAD_KINDS, Arrival, ArrivalTrace, WorkloadGenerator
+
+__all__ = [
+    "Arrival",
+    "ArrivalTrace",
+    "ChurnRecord",
+    "DeviceChurnEvent",
+    "FAIL",
+    "RECOVER",
+    "MigrationRecord",
+    "RequestRecord",
+    "SLOPolicy",
+    "ServingReport",
+    "ServingRuntime",
+    "StreamingQueueAwareRouter",
+    "WORKLOAD_KINDS",
+    "WorkloadGenerator",
+    "generate_churn",
+]

@@ -1,0 +1,89 @@
+"""Device-churn schedules for the serving runtime.
+
+The batch churn study (:mod:`repro.core.placement.adaptive`) replays pool
+*snapshots*; online serving needs *deltas* — "at t=12.4s the laptop fails",
+"at t=31.0s it comes back" — interleaved with live traffic.  This module
+generates seeded, deterministic fail/recover event sequences.
+
+Rules baked into the generator:
+
+- the requester device never fails (it holds the input data);
+- a device must be live to fail and failed to recover;
+- at least ``min_live`` devices stay up at any time.
+
+Feasibility of the *placement* after a failure (can the remaining pool still
+host every module?) is checked by the runtime at application time — an
+infeasible failure is skipped and recorded, never silently applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.utils.seeding import rng_for
+
+#: Event kinds.
+FAIL = "fail"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class DeviceChurnEvent:
+    """One availability delta at ``time`` (seconds): ``device`` fails or recovers."""
+
+    time: float
+    device: str
+    kind: str  # FAIL or RECOVER
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FAIL, RECOVER):
+            raise ValueError(f"kind must be {FAIL!r} or {RECOVER!r}, got {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"time must be non-negative, got {self.time}")
+
+
+def generate_churn(
+    device_names: Sequence[str],
+    requester: str,
+    rate_per_s: float,
+    duration_s: float,
+    seed: int = 0,
+    min_live: int = 2,
+) -> Tuple[DeviceChurnEvent, ...]:
+    """A Poisson stream of fail/recover events at ``rate_per_s`` events/second.
+
+    Deterministic for a given ``seed``.  Returns an empty tuple when
+    ``rate_per_s`` is 0.  Raises :class:`ValueError` for a negative rate.
+    """
+    if rate_per_s < 0:
+        raise ValueError(f"rate_per_s must be non-negative, got {rate_per_s}")
+    if rate_per_s == 0:
+        return ()
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    rng = rng_for("serving-churn", seed)
+    live = [name for name in device_names]
+    failed: List[str] = []
+    events: List[DeviceChurnEvent] = []
+    now = 0.0
+    while True:
+        now += float(rng.exponential(1.0 / rate_per_s))
+        if now >= duration_s:
+            return tuple(events)
+        can_fail = [name for name in live if name != requester] if len(live) > min_live else []
+        can_recover = list(failed)
+        if not can_fail and not can_recover:
+            continue
+        # Prefer recovery half the time when both moves are possible so the
+        # pool oscillates instead of draining to the floor and staying there.
+        if can_fail and (not can_recover or float(rng.uniform()) < 0.5):
+            device = can_fail[int(rng.integers(len(can_fail)))]
+            live.remove(device)
+            failed.append(device)
+            events.append(DeviceChurnEvent(time=now, device=device, kind=FAIL))
+        else:
+            device = can_recover[int(rng.integers(len(can_recover)))]
+            failed.remove(device)
+            live.append(device)
+            events.append(DeviceChurnEvent(time=now, device=device, kind=RECOVER))

@@ -1,0 +1,204 @@
+"""Serving-run accounting: per-request records and the aggregate report.
+
+Every arrival ends in exactly one of two terminal states — *completed* or
+*rejected* — so ``completed + rejected == arrivals`` always holds (the
+runtime asserts it; churn retries re-place work, they never drop or
+double-count a request).  All latencies are in **seconds** of simulated
+time; goodput is SLO-met completions per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.metrics import LatencySummary, summarize_latencies
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle record of one arrival (mutated by the runtime as it serves)."""
+
+    request_id: int
+    model_name: str
+    arrival_time: float
+    slo_s: float = 0.0
+    admitted: bool = False
+    rejected_reason: Optional[str] = None
+    finish_time: Optional[float] = None
+    retries: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion latency in seconds (completed requests only)."""
+        if self.finish_time is None:
+            raise ValueError(f"request {self.request_id} did not complete")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def slo_met(self) -> bool:
+        return self.completed and self.latency <= self.slo_s
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One adaptive re-placement performed mid-stream.
+
+    ``time`` is when the migration was *decided* (the triggering churn
+    event); the new placement takes effect ``switching_cost_s`` seconds
+    later, once the moved modules have reloaded.
+    """
+
+    time: float
+    reason: str
+    switching_cost_s: float
+
+
+@dataclass(frozen=True)
+class ChurnRecord:
+    """One churn event as actually applied (or skipped) by the runtime."""
+
+    time: float
+    device: str
+    kind: str        # "fail" / "recover"
+    applied: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one serving run."""
+
+    workload_kind: str
+    duration_s: float
+    seed: int
+    arrivals: int
+    admitted: int
+    rejected: int
+    completed: int
+    slo_met: int
+    retries: int
+    latency: LatencySummary
+    migrations: Tuple[MigrationRecord, ...] = ()
+    churn: Tuple[ChurnRecord, ...] = ()
+    records: Tuple[RequestRecord, ...] = field(default=(), repr=False)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock span of the run: the arrival window or the last
+        completion, whichever is later."""
+        return max(self.duration_s, self.latency.makespan)
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-met completions per second of elapsed simulated time."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.slo_met / self.elapsed_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *all* arrivals served within SLO (rejects count as
+        misses — shedding load is not free)."""
+        if self.arrivals == 0:
+            return 1.0
+        return self.slo_met / self.arrivals
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of arrivals that were admitted and completed."""
+        if self.arrivals == 0:
+            return 1.0
+        return self.completed / self.arrivals
+
+    def metrics_tuple(self) -> tuple:
+        """A hashable digest of every headline metric (determinism tests)."""
+        return (
+            self.arrivals,
+            self.admitted,
+            self.rejected,
+            self.completed,
+            self.slo_met,
+            self.retries,
+            round(self.latency.mean, 9),
+            round(self.latency.p50, 9),
+            round(self.latency.p95, 9),
+            round(self.latency.p99, 9),
+            round(self.latency.makespan, 9),
+        )
+
+    def render(self) -> str:
+        """Human-readable report for the CLI."""
+        lines = [
+            f"Online serving report — workload={self.workload_kind} "
+            f"duration={self.duration_s:.0f}s seed={self.seed}",
+            f"  arrivals:        {self.arrivals}",
+            f"  admitted:        {self.admitted}  (rejected {self.rejected})",
+            f"  completed:       {self.completed}",
+            f"  latency p50:     {self.latency.p50:.3f}s",
+            f"  latency p95:     {self.latency.p95:.3f}s",
+            f"  latency p99:     {self.latency.p99:.3f}s",
+            f"  mean latency:    {self.latency.mean:.3f}s",
+            f"  goodput:         {self.goodput_rps:.3f} req/s (SLO-met per second)",
+            f"  SLO attainment:  {100.0 * self.slo_attainment:.1f}% "
+            f"({self.slo_met}/{self.arrivals} within deadline)",
+            f"  churn retries:   {self.retries}",
+        ]
+        if self.churn:
+            applied = sum(1 for record in self.churn if record.applied)
+            lines.append(f"  churn events:    {applied} applied, {len(self.churn) - applied} skipped")
+            for record in self.churn:
+                mark = record.kind if record.applied else f"{record.kind} SKIPPED"
+                suffix = f" ({record.detail})" if record.detail else ""
+                lines.append(f"    t={record.time:7.2f}s {mark:16s} {record.device}{suffix}")
+        if self.migrations:
+            lines.append(f"  migrations:      {len(self.migrations)}")
+            for migration in self.migrations:
+                lines.append(
+                    f"    t={migration.time:7.2f}s cost={migration.switching_cost_s:.2f}s "
+                    f"{migration.reason}"
+                )
+        return "\n".join(lines)
+
+
+def build_report(
+    workload_kind: str,
+    duration_s: float,
+    seed: int,
+    records: List[RequestRecord],
+    migrations: List[MigrationRecord],
+    churn: List[ChurnRecord],
+) -> ServingReport:
+    """Assemble the aggregate report, enforcing request conservation."""
+    unresolved = [r for r in records if not r.completed and r.rejected_reason is None]
+    if unresolved:
+        ids = [r.request_id for r in unresolved[:5]]
+        raise RuntimeError(
+            f"{len(unresolved)} request(s) neither completed nor rejected "
+            f"(e.g. ids {ids}); the serving run lost work"
+        )
+    completed = [r for r in records if r.completed]
+    latencies = [r.latency for r in completed]
+    makespan = max((r.finish_time for r in completed if r.finish_time is not None), default=0.0)
+    per_model_counts: Dict[str, int] = {}
+    for record in records:
+        per_model_counts[record.model_name] = per_model_counts.get(record.model_name, 0) + 1
+    return ServingReport(
+        workload_kind=workload_kind,
+        duration_s=duration_s,
+        seed=seed,
+        arrivals=len(records),
+        admitted=sum(1 for r in records if r.admitted),
+        rejected=sum(1 for r in records if r.rejected_reason is not None),
+        completed=len(completed),
+        slo_met=sum(1 for r in completed if r.slo_met),
+        retries=sum(r.retries for r in records),
+        latency=summarize_latencies(latencies, makespan=makespan),
+        migrations=tuple(migrations),
+        churn=tuple(churn),
+        records=tuple(records),
+    )

@@ -1,0 +1,591 @@
+"""The online serving runtime: streaming requests, SLOs, churn, re-placement.
+
+This is the continuous-serving counterpart of the one-shot batch executors
+in :mod:`repro.core.routing`.  A :class:`ServingRuntime` drives the
+discrete-event :class:`~repro.sim.Simulator` with an arrival trace from
+:mod:`repro.serving.workload` and serves every request through:
+
+1. **Admission** — the SLO policy (:mod:`repro.serving.slo`) prices the
+   request (isolated Eq. 1-3 latency + live queue pressure) and rejects it
+   at arrival if it is predicted to miss its deadline.
+2. **Queue-aware routing** — a streaming extension of
+   :class:`~repro.core.routing.queue_aware.QueueAwareRouter` that only
+   considers *live* hosts and folds the micro-batcher's backlog into the
+   wait estimate.
+3. **Micro-batched execution** — per ``(module, device)`` server loops
+   drain their queues in FIFO chunks of up to ``max_batch_size`` and run
+   each chunk as ONE batched service (footnote 4 scaling via
+   :func:`~repro.core.routing.batching.batched_service_time` semantics),
+   which is how a burst of requests sharing a vision encoder amortizes it.
+4. **Churn handling** — device fail/recover events
+   (:mod:`repro.serving.churn`) flush the failed device's queues, mark
+   in-flight work lost (detected at service completion, like a timeout),
+   and trigger the :class:`~repro.core.placement.adaptive.AdaptivePlacementController`:
+   stranded modules force a migration whose switching cost is charged as
+   simulated re-loading delay before the new placement takes effect.
+   Affected requests re-route and retry — **no request is ever lost or
+   double-counted**: every arrival terminates as completed or rejected.
+
+All times are **seconds** of simulated time; payload sizes are **bytes**.
+
+Modeling assumptions (documented, load-bearing):
+
+- Failure detection happens at operation completion: work in flight on a
+  device when it fails runs to its scheduled end, is then discarded and
+  retried elsewhere (the detection delay stands in for a timeout).
+- Encoder outputs are durably cached once produced, so a head-side retry
+  re-ships embeddings without re-running the encoder.
+- The requester device never fails (it holds the input data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.requests import InferenceRequest
+from repro.cluster.topology import build_testbed
+from repro.core.engine import S2M3Engine
+from repro.core.placement.adaptive import AdaptivePlacementController
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.core.routing.executor import UplinkPool, transfer_proc
+from repro.core.routing.latency import RoutingDecision
+from repro.core.routing.queue_aware import QueueAwareRouter
+from repro.profiles.devices import edge_device_names
+from repro.serving.churn import FAIL, DeviceChurnEvent
+from repro.serving.report import (
+    ChurnRecord,
+    MigrationRecord,
+    RequestRecord,
+    ServingReport,
+    build_report,
+)
+from repro.serving.slo import SLOPolicy
+from repro.serving.workload import ArrivalTrace
+from repro.sim import Event
+from repro.sim.trace import CATEGORY_COMPUTE, CATEGORY_HEAD
+from repro.utils.errors import PlacementError
+
+
+class StreamingQueueAwareRouter(QueueAwareRouter):
+    """Queue-aware routing for a live stream.
+
+    Extends the burst router with two stream-specific signals: candidates
+    are filtered to the *live* device set (churn-aware), and the wait
+    estimate adds the micro-batcher's queued-but-unstarted backlog (in
+    service-seconds) instead of the burst router's sticky reservations,
+    which never decay and would saturate on a long stream.
+    """
+
+    def __init__(self, cluster, latency_model, placement, live: Set[str], backlog: Dict[str, float]) -> None:
+        super().__init__(cluster, latency_model, placement)
+        self._live = live
+        self._backlog = backlog
+
+    def estimated_wait(self, device_name: str, service_seconds: float) -> float:
+        """Expected queueing delay (s) for a new arrival on ``device_name``."""
+        device = self.cluster.device(device_name)
+        outstanding = device.slots.in_use + device.slots.queue_length
+        live_wait = outstanding / device.slots.capacity * service_seconds
+        backlog = self._backlog.get(device_name, 0.0) / device.slots.capacity
+        return live_wait + backlog
+
+    def route_module(self, request: InferenceRequest, module_name: str) -> Optional[str]:
+        """Best live host for one module, or None while none is live."""
+        candidates = [
+            device_name
+            for device_name in self.placement.hosts(module_name)
+            if device_name in self._live
+        ]
+        if not candidates:
+            return None
+        scored = []
+        for device_name in candidates:
+            service = self.latency_model.compute_seconds(request, module_name, device_name)
+            wait = self.estimated_wait(device_name, service)
+            scored.append((service + wait, device_name))
+        return min(scored)[1]
+
+    def __call__(self, request: InferenceRequest) -> Optional[RoutingDecision]:
+        hosts: Dict[str, str] = {}
+        for module_name in request.model.module_names:
+            host = self.route_module(request, module_name)
+            if host is None:
+                return None
+            hosts[module_name] = host
+        return RoutingDecision(request=request, hosts=hosts)
+
+
+@dataclass
+class _Job:
+    """One module execution owed to a request, awaiting a batch slot."""
+
+    request: InferenceRequest
+    done: Event
+    est_service: float
+
+
+class ServingRuntime:
+    """Continuous serving of an arrival trace on a fresh testbed cluster.
+
+    Args:
+        models: Catalog model names to deploy (the workload draws from these).
+        device_names: Cluster devices; defaults to the paper's four-device
+            edge pool.  The ``requester`` always participates.
+        requester: Source device holding every request's input data.
+        slo: Deadline/admission policy; defaults to :class:`SLOPolicy`.
+        max_batch_size: Micro-batcher chunk cap (requests per batched service).
+        batch_window_s: Optional accumulation window in seconds — a server
+            with a sub-capacity queue waits this long before draining, so
+            near-simultaneous arrivals share a batch.  0 disables it.
+        replicate: Run the leftover-memory replication pass at deployment so
+            queue-aware routing has replicas to spread load over.
+        adapt_expected_requests: Hysteresis volume for the churn controller —
+            a migration must amortize its switching cost over this many
+            requests (see :class:`AdaptivePlacementController`).
+        recent_window: How many recently admitted requests price a candidate
+            re-placement (falls back to one request per model when empty).
+
+    Every ``run`` builds a fresh cluster and simulator (clock at 0), so the
+    same runtime object can serve many traces; with identical arguments and
+    an identical trace the resulting report metrics are identical too.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[str],
+        device_names: Optional[Sequence[str]] = None,
+        requester: str = "jetson-a",
+        slo: Optional[SLOPolicy] = None,
+        max_batch_size: int = 8,
+        batch_window_s: float = 0.0,
+        replicate: bool = True,
+        adapt_expected_requests: int = 20,
+        recent_window: int = 32,
+    ) -> None:
+        if not models:
+            raise ValueError("need at least one model to serve")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if batch_window_s < 0:
+            raise ValueError(f"batch_window_s must be non-negative, got {batch_window_s}")
+        self.models = list(models)
+        self.device_names = list(device_names) if device_names is not None else edge_device_names()
+        self.requester = requester
+        self.slo = slo if slo is not None else SLOPolicy()
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self.replicate = replicate
+        self.adapt_expected_requests = adapt_expected_requests
+        self.recent_window = recent_window
+
+    # ==================================================================
+    # Run
+    # ==================================================================
+    def run(
+        self,
+        trace: ArrivalTrace,
+        churn_events: Iterable[DeviceChurnEvent] = (),
+    ) -> ServingReport:
+        """Serve ``trace`` (optionally under churn); returns the report.
+
+        The report enforces conservation: every arrival is either completed
+        or rejected, never lost — a violation raises :class:`RuntimeError`.
+        """
+        self._cluster = build_testbed(self.device_names, requester=self.requester)
+        self._sim = self._cluster.sim
+        self._engine = S2M3Engine(self._cluster, self.models, replicate=self.replicate)
+        self._engine.deploy()
+        self._placement: Placement = self._engine.placement
+        self._latency_model = self._engine.latency_model()
+        self._live: Set[str] = set(self._cluster.device_names)
+        self._backlog: Dict[str, float] = {}
+        self._router = StreamingQueueAwareRouter(
+            self._cluster, self._latency_model, self._placement, self._live, self._backlog
+        )
+        self._controller = AdaptivePlacementController(
+            self._cluster.network, expected_requests=self.adapt_expected_requests
+        )
+        self._queues: Dict[Tuple[str, str], List[_Job]] = {}
+        self._active_servers: Set[Tuple[str, str]] = set()
+        self._nics = UplinkPool(self._sim)
+        self._fail_times: Dict[str, List[float]] = {}
+        self._reconfig_event: Event = self._sim.event()
+        self._recent_requests: List[InferenceRequest] = []
+        self._migrations: List[MigrationRecord] = []
+        self._churn_log: List[ChurnRecord] = []
+
+        records: List[RequestRecord] = []
+        for index, arrival in enumerate(trace.arrivals):
+            record = RequestRecord(
+                request_id=-1, model_name=arrival.model_name, arrival_time=arrival.time
+            )
+            records.append(record)
+            self._sim.process(self._request_proc(record), name=f"serve-{index}")
+        ordered_churn = sorted(churn_events, key=lambda e: (e.time, e.device))
+        if ordered_churn:
+            self._sim.process(self._churn_proc(ordered_churn), name="churn")
+        self._sim.run()
+        return build_report(
+            trace.kind,
+            trace.duration_s,
+            trace.seed,
+            records,
+            self._migrations,
+            self._churn_log,
+        )
+
+    # ==================================================================
+    # Request lifecycle
+    # ==================================================================
+    def _request_proc(self, record: RequestRecord):
+        sim = self._sim
+        if record.arrival_time > 0:
+            yield sim.timeout(record.arrival_time)
+        request = self._engine.request(record.model_name, arrival_time=sim.now)
+        record.request_id = request.request_id
+
+        isolated = self._isolated_estimate(request)
+        if isolated is None:
+            # Mid-migration window: some module has no live host right now.
+            if self.slo.admission:
+                record.slo_s = self.slo.slo_for(0.0)
+                record.rejected_reason = "no live host for a required module"
+                return
+            record.slo_s = self.slo.slo_for(0.0)
+        else:
+            record.slo_s = self.slo.slo_for(isolated)
+            predicted = isolated + self._queue_pressure(request)
+            if not self.slo.admit(predicted, record.slo_s):
+                record.rejected_reason = (
+                    f"predicted {predicted:.2f}s exceeds SLO {record.slo_s:.2f}s"
+                )
+                return
+        record.admitted = True
+        self._remember(request)
+
+        encoders = list(request.model.encoders)
+        encoder_hosts: Dict[str, str] = {}
+        paths = [
+            sim.process(
+                self._module_op(request, record, encoder_name, send_input=True),
+                name=f"q{request.request_id}:{encoder_name}",
+            )
+            for encoder_name in encoders
+        ]
+        if paths:
+            hosts = yield sim.all_of(paths)
+            encoder_hosts = dict(zip(encoders, hosts))
+        yield from self._head_op(request, record, encoder_hosts)
+        record.finish_time = sim.now
+
+    def _module_op(self, request: InferenceRequest, record: RequestRecord, module_name: str, send_input: bool):
+        """Route -> (transfer input) -> micro-batch -> retry on failure.
+
+        Returns the host that finally served the module.
+        """
+        sim = self._sim
+        attempt = 0
+        while True:
+            host = self._router.route_module(request, module_name)
+            if host is None:
+                # Wait out the migration; a new placement always arrives
+                # (stranded modules force the controller's hand).
+                yield self._reconfigured()
+                continue
+            if attempt > 0:
+                record.retries += 1
+            attempt += 1
+            if send_input:
+                module = self._latency_model.module(module_name)
+                modality = module.modality or "image"
+                payload = request.model.payload_bytes(modality)
+                nic = self._nics.get(request.source)
+                token = yield nic.acquire()
+                try:
+                    yield from transfer_proc(
+                        self._cluster, request.source, host, payload,
+                        f"{modality}->{host}", request.request_id,
+                    )
+                finally:
+                    nic.release(token)
+            job = _Job(
+                request=request,
+                done=sim.event(),
+                est_service=self._latency_model.compute_seconds(request, module_name, host),
+            )
+            self._enqueue(module_name, host, job)
+            ok = yield job.done
+            if ok:
+                return host
+
+    def _head_op(self, request: InferenceRequest, record: RequestRecord, encoder_hosts: Dict[str, str]):
+        """Ship embeddings to the head's host, run the head, retry on failure."""
+        head_name = request.model.head
+        attempt = 0
+        while True:
+            host = self._router.route_module(request, head_name)
+            if host is None:
+                yield self._reconfigured()
+                continue
+            if attempt > 0:
+                record.retries += 1
+            attempt += 1
+            for encoder_name, encoder_host in encoder_hosts.items():
+                module = self._latency_model.module(encoder_name)
+                yield from transfer_proc(
+                    self._cluster, encoder_host, host, module.output_bytes,
+                    f"emb->{host}", request.request_id,
+                )
+            job = _Job(
+                request=request,
+                done=self._sim.event(),
+                est_service=self._latency_model.compute_seconds(request, head_name, host),
+            )
+            self._enqueue(head_name, host, job)
+            ok = yield job.done
+            if ok:
+                return host
+
+    # ==================================================================
+    # Micro-batch servers
+    # ==================================================================
+    def _enqueue(self, module_name: str, host: str, job: _Job) -> None:
+        key = (module_name, host)
+        self._queues.setdefault(key, []).append(job)
+        self._backlog[host] = self._backlog.get(host, 0.0) + job.est_service
+        if key not in self._active_servers:
+            self._active_servers.add(key)
+            self._sim.process(self._server_proc(module_name, host), name=f"srv:{module_name}@{host}")
+
+    def _server_proc(self, module_name: str, host: str):
+        """Drain one (module, host) queue in FIFO micro-batches."""
+        sim = self._sim
+        key = (module_name, host)
+        queue = self._queues[key]
+        device = self._cluster.device(host)
+        module = self._latency_model.module(module_name)
+        category = CATEGORY_HEAD if module.is_head else CATEGORY_COMPUTE
+        try:
+            while queue:
+                if host not in self._live:
+                    self._flush_queue(key)
+                    break
+                if self.batch_window_s > 0 and len(queue) < self.max_batch_size:
+                    yield sim.timeout(self.batch_window_s)
+                    if host not in self._live:
+                        self._flush_queue(key)
+                        break
+                    if not queue:
+                        # A failure flushed the queue during the window and
+                        # the device already recovered; nothing left to run.
+                        break
+                chunk = queue[: self.max_batch_size]
+                del queue[: self.max_batch_size]
+                # Backlog tracks queued-but-unstarted work only; once a job
+                # enters a batch, its remaining time is visible to the wait
+                # estimate through the device's slot occupancy instead.
+                for job in chunk:
+                    self._drop_backlog(host, job)
+                if not device.hosts(module_name):
+                    # A migration moved the module off this host between
+                    # routing and service; the jobs re-route.
+                    self._finish_chunk(chunk, ok=False)
+                    continue
+                heaviest = max(
+                    chunk, key=lambda j: j.request.model.scale_for(module_name)
+                )
+                submitted = sim.now
+                yield from device.execute(
+                    module,
+                    model=heaviest.request.model,
+                    batch_size=len(chunk),
+                    label=f"batch[{len(chunk)}] {module_name}",
+                    category=category,
+                )
+                lost = self._failed_during(host, submitted)
+                self._finish_chunk(chunk, ok=not lost)
+        finally:
+            self._active_servers.discard(key)
+
+    def _finish_chunk(self, chunk: List[_Job], ok: bool) -> None:
+        for job in chunk:
+            job.done.succeed(ok)
+
+    def _drop_backlog(self, host: str, job: _Job) -> None:
+        self._backlog[host] = max(0.0, self._backlog.get(host, 0.0) - job.est_service)
+
+    def _flush_queue(self, key: Tuple[str, str]) -> None:
+        """Fail every queued (unstarted) job so it re-routes elsewhere."""
+        queue = self._queues.get(key)
+        if not queue:
+            return
+        jobs, queue[:] = list(queue), []
+        for job in jobs:
+            self._drop_backlog(key[1], job)
+            job.done.succeed(False)
+
+    def _failed_during(self, host: str, since: float) -> bool:
+        if host not in self._live:
+            return True
+        return any(since <= t <= self._sim.now for t in self._fail_times.get(host, ()))
+
+    # ==================================================================
+    # Churn and adaptive re-placement
+    # ==================================================================
+    def _churn_proc(self, events: Sequence[DeviceChurnEvent]):
+        sim = self._sim
+        for event in events:
+            if event.time > sim.now:
+                yield sim.timeout(event.time - sim.now)
+            if event.kind == FAIL:
+                applied, detail = self._apply_failure(event.device)
+            else:
+                applied, detail = self._apply_recovery(event.device)
+            self._churn_log.append(
+                ChurnRecord(sim.now, event.device, event.kind, applied, detail)
+            )
+            if applied:
+                yield from self._replace()
+                self._signal_reconfigured()
+
+    def _apply_failure(self, device_name: str):
+        if device_name == self.requester:
+            return False, "requester never fails"
+        if device_name not in self._live:
+            return False, "already failed"
+        remaining = [n for n in self._cluster.device_names if n in self._live and n != device_name]
+        if not self._feasible(remaining):
+            return False, "placement infeasible without it"
+        self._live.discard(device_name)
+        self._fail_times.setdefault(device_name, []).append(self._sim.now)
+        for key in list(self._queues):
+            if key[1] == device_name:
+                self._flush_queue(key)
+        return True, ""
+
+    def _apply_recovery(self, device_name: str):
+        if device_name in self._live:
+            return False, "already live"
+        if device_name not in self._cluster.devices:
+            return False, "unknown device"
+        self._live.add(device_name)
+        return True, ""
+
+    def _replace(self):
+        """Let the adaptive controller re-place for the current live pool,
+        charging any switching cost as simulated reload delay."""
+        problem_now = self._live_problem()
+        requests = self._recent_requests[-self.recent_window:]
+        if not requests:
+            requests = [self._engine.request(name) for name in self.models]
+        try:
+            decision = self._controller.evaluate(problem_now, self._placement, requests)
+        except PlacementError:
+            # Pre-checked via _feasible; a failure here means the pool
+            # changed under us — keep serving on the old placement.
+            return
+        if decision.migrate and decision.new_placement is not None:
+            decided_at = self._sim.now
+            if decision.switching_cost_seconds > 0:
+                yield self._sim.timeout(decision.switching_cost_seconds)
+            self._install(decision.new_placement)
+            # Stamped with the decision time so the log attributes the
+            # migration to the churn event that triggered it; the new
+            # placement takes effect switching_cost_s later.
+            self._migrations.append(
+                MigrationRecord(decided_at, decision.reason, decision.switching_cost_seconds)
+            )
+
+    def _install(self, placement: Placement) -> None:
+        """Materialize ``placement`` on the live devices (unload then load)."""
+        modules = self._engine.module_specs
+        assignment = placement.as_dict()
+        for name in self._cluster.device_names:
+            if name not in self._live:
+                continue  # failed devices keep their weights for a comeback
+            device = self._cluster.devices[name]
+            keep = {m for m, hosts in assignment.items() if name in hosts}
+            for loaded_name in list(device.loaded):
+                if loaded_name not in keep:
+                    device.unload(loaded_name)
+            for module_name in sorted(keep):
+                if not device.hosts(module_name):
+                    device.load(modules[module_name])
+        self._placement = placement
+        self._router.placement = placement
+
+    def _problem_for(self, device_names: Sequence[str]) -> PlacementProblem:
+        return PlacementProblem(
+            modules=self._engine.problem.modules,
+            devices=tuple(self._cluster.devices[name].profile for name in device_names),
+            models=self._engine.problem.models,
+        )
+
+    def _live_problem(self) -> PlacementProblem:
+        return self._problem_for(
+            [name for name in self._cluster.device_names if name in self._live]
+        )
+
+    def _feasible(self, live_names: Sequence[str]) -> bool:
+        # The feasibility probe and the controller's candidate each run one
+        # greedy solve per applied event; the problems are small (a handful
+        # of modules x devices), so the duplication is cheaper than
+        # widening the controller's API to accept a precomputed candidate.
+        if not live_names:
+            return False
+        try:
+            greedy_placement(self._problem_for(live_names))
+        except PlacementError:
+            return False
+        return True
+
+    def _reconfigured(self) -> Event:
+        return self._reconfig_event
+
+    def _signal_reconfigured(self) -> None:
+        event, self._reconfig_event = self._reconfig_event, self._sim.event()
+        event.succeed(True)
+
+    # ==================================================================
+    # Admission helpers
+    # ==================================================================
+    def _isolated_estimate(self, request: InferenceRequest) -> Optional[float]:
+        """Idle-cluster Eq. 1-3 latency under the live fastest-host routing,
+        or None while some module has no live host."""
+        hosts: Dict[str, str] = {}
+        for module_name in request.model.module_names:
+            candidates = [
+                d for d in self._placement.hosts(module_name) if d in self._live
+            ]
+            if not candidates:
+                return None
+            hosts[module_name] = min(
+                candidates,
+                key=lambda d: (self._latency_model.compute_seconds(request, module_name, d), d),
+            )
+        decision = RoutingDecision(request=request, hosts=hosts)
+        return self._latency_model.breakdown(request, self._placement, routing=decision).total
+
+    def _queue_pressure(self, request: InferenceRequest) -> float:
+        """Estimated extra wait (s) the live queues add to this request:
+        the max over its parallel encoder paths plus the head's wait."""
+        decision = self._router(request)
+        if decision is None:
+            return float("inf")
+        encoder_wait = 0.0
+        for encoder_name in request.model.encoders:
+            host = decision.host_of(encoder_name)
+            service = self._latency_model.compute_seconds(request, encoder_name, host)
+            encoder_wait = max(encoder_wait, self._router.estimated_wait(host, service))
+        head_name = request.model.head
+        head_host = decision.host_of(head_name)
+        head_service = self._latency_model.compute_seconds(request, head_name, head_host)
+        return encoder_wait + self._router.estimated_wait(head_host, head_service)
+
+    def _remember(self, request: InferenceRequest) -> None:
+        self._recent_requests.append(request)
+        if len(self._recent_requests) > 4 * self.recent_window:
+            del self._recent_requests[: -self.recent_window]
+

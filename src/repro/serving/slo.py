@@ -1,0 +1,63 @@
+"""Service-level objectives and admission control for online serving.
+
+Each admitted request carries an SLO — a completion deadline in **seconds**
+measured from its arrival.  The policy derives the deadline from the
+request's *isolated* analytic latency (Eq. 1-3 under the current placement,
+no queueing): a request is "fast enough" when it finishes within
+``latency_multiplier`` times what it would take on an idle cluster, with an
+absolute floor so near-zero estimates don't create impossible deadlines.
+
+Admission control compares the deadline against a *predicted* completion
+time (isolated latency + live queue-pressure estimate from the queue-aware
+router).  Requests predicted to miss are rejected at arrival — shedding load
+early keeps the tail of the admitted stream bounded, which is what the
+goodput metric rewards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """How deadlines are assigned and enforced.
+
+    Attributes:
+        latency_multiplier: Deadline = ``multiplier * isolated_estimate_s``
+            (dimensionless; >= 1).
+        floor_s: Minimum deadline in seconds (guards tiny estimates).
+        absolute_s: If set, overrides the scaled deadline with a fixed
+            per-request budget in seconds.
+        admission: ``True`` rejects requests predicted to miss their SLO at
+            arrival; ``False`` admits everything (pure FIFO overload).
+    """
+
+    latency_multiplier: float = 3.0
+    floor_s: float = 1.0
+    absolute_s: Optional[float] = None
+    admission: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latency_multiplier < 1.0:
+            raise ValueError(
+                f"latency_multiplier must be >= 1, got {self.latency_multiplier}"
+            )
+        if self.floor_s < 0:
+            raise ValueError(f"floor_s must be non-negative, got {self.floor_s}")
+        if self.absolute_s is not None and self.absolute_s <= 0:
+            raise ValueError(f"absolute_s must be positive, got {self.absolute_s}")
+
+    def slo_for(self, isolated_estimate_s: float) -> float:
+        """The deadline (seconds from arrival) for a request whose isolated
+        analytic latency is ``isolated_estimate_s``."""
+        if self.absolute_s is not None:
+            return self.absolute_s
+        return max(self.floor_s, self.latency_multiplier * isolated_estimate_s)
+
+    def admit(self, predicted_latency_s: float, slo_s: float) -> bool:
+        """Whether to admit a request predicted to finish in ``predicted_latency_s``."""
+        if not self.admission:
+            return True
+        return predicted_latency_s <= slo_s

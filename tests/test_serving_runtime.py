@@ -1,0 +1,211 @@
+"""The serving runtime: determinism, SLO admission, churn conservation."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.serving import (
+    DeviceChurnEvent,
+    ServingRuntime,
+    SLOPolicy,
+    WorkloadGenerator,
+    generate_churn,
+)
+from repro.serving.workload import Arrival, ArrivalTrace
+
+MODELS = ["clip-vit-b16", "encoder-vqa-small"]
+DEVICES = ["desktop", "laptop", "jetson-b", "jetson-a"]
+
+
+def burst_trace(count: int, spacing_s: float = 0.1, model: str = "clip-vit-b16") -> ArrivalTrace:
+    """A hand-built trace (bypasses the generator) for targeted scenarios."""
+    return ArrivalTrace(
+        arrivals=tuple(Arrival(spacing_s * (i + 1), model) for i in range(count)),
+        duration_s=10.0,
+        kind="poisson",
+        seed=0,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_identical_metrics(self):
+        """Same seed -> identical arrival trace -> identical serving metrics,
+        even though request ids differ between runs (global counter)."""
+        gen = WorkloadGenerator(MODELS, kind="bursty", rate_rps=0.4, duration_s=40.0, seed=3)
+        churn = generate_churn(DEVICES, "jetson-a", 0.08, 40.0, seed=3)
+        runtime = ServingRuntime(MODELS)
+        first = runtime.run(gen.generate(), churn)
+        second = runtime.run(gen.generate(), churn)
+        assert first.metrics_tuple() == second.metrics_tuple()
+        assert first.migrations == second.migrations
+        assert [(c.time, c.device, c.kind, c.applied) for c in first.churn] == [
+            (c.time, c.device, c.kind, c.applied) for c in second.churn
+        ]
+
+    def test_different_seed_changes_metrics(self):
+        a = WorkloadGenerator(MODELS, rate_rps=0.5, duration_s=30.0, seed=1).generate()
+        b = WorkloadGenerator(MODELS, rate_rps=0.5, duration_s=30.0, seed=2).generate()
+        runtime = ServingRuntime(MODELS)
+        assert runtime.run(a).metrics_tuple() != runtime.run(b).metrics_tuple()
+
+
+class TestServingBasics:
+    def test_gentle_stream_all_within_slo(self):
+        trace = WorkloadGenerator(MODELS, rate_rps=0.1, duration_s=60.0, seed=0).generate()
+        report = ServingRuntime(MODELS).run(trace)
+        assert report.arrivals == len(trace)
+        assert report.rejected == 0
+        assert report.completed == report.arrivals
+        assert report.slo_met == report.completed
+        assert report.slo_attainment == 1.0
+        assert report.goodput_rps > 0
+
+    def test_percentiles_ordered(self):
+        trace = WorkloadGenerator(MODELS, kind="bursty", rate_rps=0.5, duration_s=40.0, seed=2).generate()
+        report = ServingRuntime(MODELS, slo=SLOPolicy(admission=False)).run(trace)
+        summary = report.latency
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_overload_sheds_load(self):
+        """A rate far above capacity must trigger rejections, and the
+        admitted requests must fare much better than a no-admission run."""
+        trace = WorkloadGenerator(MODELS, rate_rps=3.0, duration_s=20.0, seed=4).generate()
+        shed = ServingRuntime(MODELS).run(trace)
+        flooded = ServingRuntime(MODELS, slo=SLOPolicy(admission=False)).run(trace)
+        assert shed.rejected > 0
+        assert shed.completed + shed.rejected == shed.arrivals
+        assert flooded.completed == flooded.arrivals  # nothing rejected...
+        assert flooded.latency.p95 > shed.latency.p95  # ...but the tail pays
+        assert shed.goodput_rps >= flooded.goodput_rps
+
+    def test_empty_trace(self):
+        trace = ArrivalTrace(arrivals=(), duration_s=5.0, kind="poisson", seed=0)
+        report = ServingRuntime(MODELS).run(trace)
+        assert report.arrivals == 0
+        assert report.slo_attainment == 1.0
+        assert report.goodput_rps == 0.0
+
+    def test_absolute_slo_policy(self):
+        trace = burst_trace(3)
+        tight = ServingRuntime(MODELS, slo=SLOPolicy(absolute_s=0.01)).run(trace)
+        assert tight.rejected == len(trace.arrivals)
+        loose = ServingRuntime(MODELS, slo=SLOPolicy(absolute_s=1000.0)).run(trace)
+        assert loose.completed == len(trace.arrivals)
+        assert loose.slo_met == loose.completed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingRuntime([])
+        with pytest.raises(ValueError):
+            ServingRuntime(MODELS, max_batch_size=0)
+        with pytest.raises(ValueError):
+            ServingRuntime(MODELS, batch_window_s=-0.1)
+        with pytest.raises(ValueError):
+            SLOPolicy(latency_multiplier=0.5)
+
+
+class TestChurn:
+    def test_mid_stream_failure_conserves_requests(self):
+        """Failing a module-hosting device mid-stream forces re-placement;
+        affected requests retry elsewhere and every arrival terminates."""
+        trace = burst_trace(6, spacing_s=0.2)
+        churn = (DeviceChurnEvent(time=1.0, device="laptop", kind="fail"),)
+        report = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=False
+        ).run(trace, churn)
+        assert report.completed + report.rejected == report.arrivals
+        assert report.completed == report.arrivals  # admission off: none rejected
+        assert report.retries > 0  # work was genuinely lost and re-placed
+        assert any(m for m in report.migrations)  # forced migration happened
+        assert report.churn[0].applied
+
+    def test_fail_then_recover_round_trip(self):
+        trace = burst_trace(8, spacing_s=0.5)
+        churn = (
+            DeviceChurnEvent(time=1.0, device="laptop", kind="fail"),
+            DeviceChurnEvent(time=3.0, device="laptop", kind="recover"),
+        )
+        report = ServingRuntime(MODELS, slo=SLOPolicy(admission=False)).run(trace, churn)
+        assert report.completed == report.arrivals
+        assert [c.applied for c in report.churn] == [True, True]
+
+    def test_requester_failure_skipped(self):
+        trace = burst_trace(2)
+        churn = (DeviceChurnEvent(time=0.5, device="jetson-a", kind="fail"),)
+        report = ServingRuntime(MODELS).run(trace, churn)
+        assert not report.churn[0].applied
+        assert "requester" in report.churn[0].detail
+        assert report.completed + report.rejected == report.arrivals
+
+    def test_infeasible_failure_skipped(self):
+        """Draining the pool below what the modules need must be refused."""
+        trace = burst_trace(2, model="clip-vit-l14")
+        churn = (
+            DeviceChurnEvent(time=0.2, device="laptop", kind="fail"),
+            DeviceChurnEvent(time=0.3, device="desktop", kind="fail"),
+        )
+        report = ServingRuntime(
+            ["clip-vit-l14"], slo=SLOPolicy(admission=False)
+        ).run(trace, churn)
+        # The 304M ViT-L/14 tower (608 MB fp16) fits on neither 400 MB
+        # Jetson, so losing BOTH big devices is refused.
+        applied = [c.applied for c in report.churn]
+        assert applied == [True, False]
+        assert "infeasible" in report.churn[1].detail
+        assert report.completed == report.arrivals
+
+    def test_fail_recover_inside_batch_window(self):
+        """A failure flushing a server's queue while it sleeps in its
+        accumulation window, with recovery before the window expires, must
+        not crash the woken server on an empty queue."""
+        trace = burst_trace(6, spacing_s=0.2)
+        churn = (
+            DeviceChurnEvent(time=1.2, device="laptop", kind="fail"),
+            DeviceChurnEvent(time=1.6, device="laptop", kind="recover"),
+        )
+        report = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), batch_window_s=5.0
+        ).run(trace, churn)
+        assert report.completed == report.arrivals
+
+    def test_migration_stamped_at_decision_time(self):
+        """The migration log attributes each migration to its triggering
+        churn event, not to when the switching cost finished paying."""
+        trace = burst_trace(4, spacing_s=0.5)
+        churn = (DeviceChurnEvent(time=1.0, device="laptop", kind="fail"),)
+        report = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=False
+        ).run(trace, churn)
+        assert report.migrations
+        assert report.migrations[0].time == pytest.approx(1.0)
+
+    def test_generated_churn_conserves_under_bursty_load(self):
+        trace = WorkloadGenerator(MODELS, kind="bursty", rate_rps=0.6, duration_s=50.0, seed=8).generate()
+        churn = generate_churn(DEVICES, "jetson-a", 0.1, 50.0, seed=8)
+        assert churn
+        report = ServingRuntime(MODELS, slo=SLOPolicy(admission=False)).run(trace, churn)
+        assert report.completed == report.arrivals
+        assert report.rejected == 0
+
+
+class TestServeCli:
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--duration", "10", "--rate", "0.3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("p50", "p95", "p99", "goodput", "SLO attainment"):
+            assert needle in out
+
+    def test_serve_with_churn(self, capsys):
+        assert main([
+            "serve", "--workload", "bursty", "--duration", "30",
+            "--churn", "0.1", "--seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "churn" in out
+
+    def test_serve_rejects_bad_workload(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workload", "tidal"])
+
+    def test_experiment_cli_still_works(self, capsys):
+        assert main(["batching"]) == 0
+        assert "batch" in capsys.readouterr().out

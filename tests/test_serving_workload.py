@@ -1,0 +1,122 @@
+"""Workload generation: determinism, shape properties, validation."""
+
+import pytest
+
+from repro.serving.churn import FAIL, RECOVER, DeviceChurnEvent, generate_churn
+from repro.serving.workload import WORKLOAD_KINDS, ArrivalTrace, WorkloadGenerator
+
+MODELS = ["clip-vit-b16", "encoder-vqa-small"]
+DEVICES = ["desktop", "laptop", "jetson-b", "jetson-a"]
+
+
+class TestWorkloadGenerator:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_same_seed_same_trace(self, kind):
+        gen = WorkloadGenerator(MODELS, kind=kind, rate_rps=1.0, duration_s=30.0, seed=42)
+        first, second = gen.generate(), gen.generate()
+        assert first == second
+        rebuilt = WorkloadGenerator(
+            MODELS, kind=kind, rate_rps=1.0, duration_s=30.0, seed=42
+        ).generate()
+        assert rebuilt == first
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = WorkloadGenerator(MODELS, kind=kind, rate_rps=1.0, duration_s=30.0, seed=1).generate()
+        b = WorkloadGenerator(MODELS, kind=kind, rate_rps=1.0, duration_s=30.0, seed=2).generate()
+        assert a != b
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_arrivals_sorted_within_window_and_cataloged(self, kind):
+        trace = WorkloadGenerator(MODELS, kind=kind, rate_rps=2.0, duration_s=20.0, seed=0).generate()
+        times = [arrival.time for arrival in trace.arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < trace.duration_s for t in times)
+        assert set(trace.model_counts()) <= set(MODELS)
+
+    def test_poisson_rate_roughly_matches(self):
+        trace = WorkloadGenerator(MODELS, rate_rps=2.0, duration_s=500.0, seed=0).generate()
+        assert trace.observed_rate_rps == pytest.approx(2.0, rel=0.2)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """Fano factor of per-second counts: ~1 for Poisson, >1 for MMPP."""
+
+        def fano(trace: ArrivalTrace) -> float:
+            bins = [0] * int(trace.duration_s)
+            for arrival in trace.arrivals:
+                bins[int(arrival.time)] += 1
+            mean = sum(bins) / len(bins)
+            var = sum((b - mean) ** 2 for b in bins) / len(bins)
+            return var / mean
+
+        poisson = WorkloadGenerator(MODELS, kind="poisson", rate_rps=1.0, duration_s=400.0, seed=3).generate()
+        bursty = WorkloadGenerator(
+            MODELS, kind="bursty", rate_rps=1.0, duration_s=400.0, seed=3, burst_factor=8.0
+        ).generate()
+        assert fano(bursty) > 2.0 * fano(poisson)
+
+    def test_diurnal_peak_outweighs_trough(self):
+        """With rate(t) ~ 1 + a*sin(2*pi*t/T), the first half-period (peak)
+        must receive more arrivals than the second (trough)."""
+        period = 100.0
+        trace = WorkloadGenerator(
+            MODELS, kind="diurnal", rate_rps=1.0, duration_s=period, seed=5,
+            diurnal_period_s=period, diurnal_amplitude=0.9,
+        ).generate()
+        peak = sum(1 for a in trace.arrivals if a.time < period / 2)
+        trough = len(trace) - peak
+        assert peak > 1.5 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator([], rate_rps=1.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, kind="sawtooth")
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, duration_s=-1.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, diurnal_amplitude=1.0)
+
+
+class TestChurnGeneration:
+    def test_same_seed_same_events(self):
+        a = generate_churn(DEVICES, "jetson-a", 0.1, 120.0, seed=9)
+        b = generate_churn(DEVICES, "jetson-a", 0.1, 120.0, seed=9)
+        assert a == b
+        assert a != generate_churn(DEVICES, "jetson-a", 0.1, 120.0, seed=10)
+
+    def test_requester_never_fails(self):
+        events = generate_churn(DEVICES, "jetson-a", 0.5, 300.0, seed=0)
+        assert events  # a 0.5/s rate over 300s produces events
+        assert all(e.device != "jetson-a" for e in events if e.kind == FAIL)
+
+    def test_events_are_consistent_deltas(self):
+        """fail only live devices, recover only failed ones, keep min_live."""
+        events = generate_churn(DEVICES, "jetson-a", 0.5, 300.0, seed=1, min_live=2)
+        live = set(DEVICES)
+        for event in events:
+            if event.kind == FAIL:
+                assert event.device in live
+                live.discard(event.device)
+                assert len(live) >= 2
+            else:
+                assert event.kind == RECOVER
+                assert event.device not in live
+                live.add(event.device)
+
+    def test_zero_rate_is_empty(self):
+        assert generate_churn(DEVICES, "jetson-a", 0.0, 60.0) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_churn(DEVICES, "jetson-a", -0.1, 60.0)
+        with pytest.raises(ValueError):
+            generate_churn(DEVICES, "jetson-a", 0.1, 0.0)
+        with pytest.raises(ValueError):
+            DeviceChurnEvent(time=1.0, device="laptop", kind="explode")
+        with pytest.raises(ValueError):
+            DeviceChurnEvent(time=-1.0, device="laptop", kind=FAIL)

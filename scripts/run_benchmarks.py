@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Run the placement perf benchmarks and emit ``BENCH_placement.json``.
+
+This is the repo's recorded perf trajectory: the instance-size sweep
+(scalar vs. tensorized objective, brute force vs. branch-and-bound) plus a
+serve-under-churn recovery run.  The checked-in ``BENCH_placement.json`` is
+regenerated with::
+
+    python scripts/run_benchmarks.py
+
+and CI runs the trimmed ``--smoke`` variant on every push, uploading the
+JSON as an artifact so the trend is inspectable per commit.  See
+``docs/performance.md`` for the schema and how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FULL_SWEEP = [(3, 4), (4, 5), (6, 8), (8, 16), (10, 24), (10, 32)]
+SMOKE_SWEEP = [(3, 4), (6, 8), (8, 16)]
+
+
+def bench_objective(n_modules: int, n_devices: int, repeats: int) -> dict:
+    """Scalar vs. tensorized objective timing on one synthetic instance."""
+    from repro.core.placement.greedy import greedy_placement
+    from repro.core.routing.latency import LatencyModel
+    from repro.experiments.scaling import synthetic_instance
+
+    instance = synthetic_instance(n_modules, n_devices, seed=1, n_requests=16)
+    requests = list(instance.requests)
+    placement = greedy_placement(instance.problem)
+    tensorized = LatencyModel(instance.problem, instance.network)
+    scalar = LatencyModel(instance.problem, instance.network, use_tensors=False)
+
+    build_start = time.perf_counter()
+    tensor_value = tensorized.objective(requests, placement)  # builds tensors
+    tensor_build_s = time.perf_counter() - build_start
+    scalar_value = scalar.objective(requests, placement)
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        tensorized.objective(requests, placement)
+    tensor_s = (time.perf_counter() - start) / repeats
+    start = time.perf_counter()
+    for _ in range(repeats):
+        scalar.objective(requests, placement)
+    scalar_s = (time.perf_counter() - start) / repeats
+    return {
+        "modules": n_modules,
+        "devices": n_devices,
+        "requests": len(requests),
+        "bit_identical": tensor_value == scalar_value,
+        "tensor_build_s": round(tensor_build_s, 6),
+        "scalar_objective_s": round(scalar_s, 6),
+        "tensor_objective_s": round(tensor_s, 6),
+        "speedup": round(scalar_s / tensor_s, 2),
+    }
+
+
+def bench_solver(n_modules: int, n_devices: int) -> dict:
+    """Greedy / brute-force / branch-and-bound on one synthetic instance."""
+    from repro.core.placement.bnb import BnBStats, branch_and_bound_placement
+    from repro.core.placement.greedy import greedy_placement
+    from repro.core.placement.optimal import MAX_ASSIGNMENTS, optimal_placement
+    from repro.core.routing.latency import LatencyModel
+    from repro.experiments.scaling import synthetic_instance
+
+    instance = synthetic_instance(n_modules, n_devices, seed=1, n_requests=4)
+    requests = list(instance.requests)
+    model = LatencyModel(instance.problem, instance.network)
+
+    start = time.perf_counter()
+    greedy = greedy_placement(instance.problem)
+    greedy_s = time.perf_counter() - start
+    greedy_objective = model.objective(requests, greedy)
+
+    stats = BnBStats()
+    start = time.perf_counter()
+    _, bnb_objective = branch_and_bound_placement(
+        instance.problem, requests, instance.network, stats=stats
+    )
+    bnb_s = time.perf_counter() - start
+
+    row = {
+        "modules": n_modules,
+        "devices": n_devices,
+        "assignments": n_devices ** n_modules,
+        "greedy_s": round(greedy_s, 6),
+        "greedy_objective": greedy_objective,
+        "bnb_s": round(bnb_s, 6),
+        "bnb_objective": bnb_objective,
+        "bnb_nodes": stats.nodes,
+        "bnb_leaves": stats.leaves,
+        "bnb_pruned": stats.pruned,
+        "greedy_optimality_gap": round(greedy_objective / bnb_objective - 1.0, 6),
+    }
+    # Brute force only where the old enumeration would even start, and only
+    # at sizes that finish in reasonable time for a benchmark harness.
+    if n_devices ** n_modules <= min(MAX_ASSIGNMENTS, 300_000):
+        start = time.perf_counter()
+        _, brute_objective = optimal_placement(
+            instance.problem, requests, instance.network, solver="brute"
+        )
+        row["brute_s"] = round(time.perf_counter() - start, 6)
+        row["brute_matches_bnb"] = brute_objective == bnb_objective
+    return row
+
+
+def bench_serving_churn(duration_s: float) -> dict:
+    """Serve a Poisson trace through fail/recover churn; report recovery."""
+    from repro.serving import ServingRuntime, SLOPolicy, WorkloadGenerator
+    from repro.serving.churn import DeviceChurnEvent
+
+    models = ["clip-vit-b16", "encoder-vqa-small"]
+    trace = WorkloadGenerator(
+        models, kind="poisson", rate_rps=0.4, duration_s=duration_s, seed=5
+    ).generate()
+    churn = (
+        DeviceChurnEvent(duration_s / 6, "desktop", "fail"),
+        DeviceChurnEvent(duration_s / 2, "desktop", "recover"),
+        DeviceChurnEvent(2 * duration_s / 3, "laptop", "fail"),
+    )
+    runtime = ServingRuntime(models, slo=SLOPolicy(admission=False))
+    start = time.perf_counter()
+    report = runtime.run(trace, churn_events=churn)
+    wall_s = time.perf_counter() - start
+    return {
+        "duration_s": duration_s,
+        "wall_s": round(wall_s, 4),
+        "arrivals": report.arrivals,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "conservation_ok": report.completed + report.rejected == report.arrivals,
+        "migrations": len(report.migrations),
+        "churn_events_applied": sum(1 for c in report.churn if c.applied),
+        "p50_s": round(report.latency.p50, 4),
+        "p95_s": round(report.latency.p95, 4),
+        "switching_cost_s": round(
+            sum(m.switching_cost_s for m in report.migrations), 4
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="trimmed sweep for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=30,
+        help="objective-timing repetitions per instance (default 30)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="where to write the JSON report (default: BENCH_placement.json "
+        "for full runs, BENCH_smoke.json for --smoke so the checked-in "
+        "full-sweep record is never clobbered by a trimmed run)",
+    )
+    args = parser.parse_args()
+    if args.output is None:
+        args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
+
+    import numpy
+
+    sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+    results = {
+        "benchmark": "placement",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "objective_sweep": [],
+        "solver_sweep": [],
+    }
+
+    for n_modules, n_devices in sweep:
+        print(f"objective sweep {n_modules}x{n_devices} ...", flush=True)
+        results["objective_sweep"].append(
+            bench_objective(n_modules, n_devices, args.repeats)
+        )
+    for n_modules, n_devices in sweep:
+        print(f"solver sweep {n_modules}x{n_devices} ...", flush=True)
+        results["solver_sweep"].append(bench_solver(n_modules, n_devices))
+    print("serving churn recovery ...", flush=True)
+    results["serving_churn"] = bench_serving_churn(20.0 if args.smoke else 60.0)
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    for row in results["objective_sweep"]:
+        if not row["bit_identical"]:
+            failures.append(f"objective mismatch at {row['modules']}x{row['devices']}")
+    for row in results["solver_sweep"]:
+        if row.get("brute_matches_bnb") is False:
+            failures.append(f"solver mismatch at {row['modules']}x{row['devices']}")
+        if row["bnb_objective"] > row["greedy_objective"] + 1e-12:
+            failures.append(f"bnb worse than greedy at {row['modules']}x{row['devices']}")
+    if not results["serving_churn"]["conservation_ok"]:
+        failures.append("serving conservation violated")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

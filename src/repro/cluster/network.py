@@ -24,6 +24,7 @@ class Network:
     def __init__(self, links: Optional[Iterable[LinkProfile]] = None) -> None:
         self.graph = nx.Graph()
         self._jitter: Optional[Callable[[str, str], float]] = None
+        self._version = 0
         for link in links if links is not None else LINK_PROFILES:
             self.add_link(link)
         self._path_cache: Dict[Tuple[str, str], List[str]] = {}
@@ -32,6 +33,7 @@ class Network:
         """Install a link; endpoints are created implicitly."""
         self.graph.add_edge(link.a, link.b, profile=link, latency=link.latency_s)
         self._path_cache = {}
+        self._version += 1
 
     def set_jitter(self, jitter: Optional[Callable[[str, str], float]]) -> None:
         """Install a multiplicative jitter hook ``(src, dst) -> factor``.
@@ -40,6 +42,23 @@ class Network:
         uncontrolled home-network conditions.
         """
         self._jitter = jitter
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Bumped on every topology or jitter change; cost-tensor caches
+        built against this network (see :mod:`repro.core.placement.tensors`)
+        compare versions to know when to rebuild."""
+        return self._version
+
+    @property
+    def has_jitter(self) -> bool:
+        """Whether a (possibly stochastic) jitter hook is installed.
+
+        Cost tensors cache transfer prices, which would freeze a random
+        jitter draw — pricing falls back to the scalar path while True.
+        """
+        return self._jitter is not None
 
     # ------------------------------------------------------------------
     # Path queries

@@ -70,8 +70,27 @@ class AdaptivePlacementController:
         self.network = network
         self.compute_model = compute_model
         self.expected_requests = expected_requests
+        self._model_cache: Dict[Tuple[str, ...], Tuple[PlacementProblem, LatencyModel]] = {}
 
     # ------------------------------------------------------------------
+    def latency_model_for(self, problem: PlacementProblem) -> LatencyModel:
+        """A :class:`LatencyModel` (with its cost tensors) for ``problem``.
+
+        Churn traces oscillate over a handful of device pools; rebuilding
+        the model — and re-deriving its per-(module, device) tensors — on
+        every assessment made re-placement cost scale with churn rate.  The
+        cache is keyed on the device-name tuple and verified against the
+        full problem (frozen dataclass equality), so a pool that comes back
+        with different modules, models, or noise misses and rebuilds.
+        """
+        key = tuple(device.name for device in problem.devices)
+        hit = self._model_cache.get(key)
+        if hit is not None and (hit[0] is problem or hit[0] == problem):
+            return hit[1]
+        model = LatencyModel(problem, self.network)
+        self._model_cache[key] = (problem, model)
+        return model
+
     def switching_cost(
         self, old: Placement, new: Placement, problem: PlacementProblem
     ) -> float:
@@ -108,7 +127,7 @@ class AdaptivePlacementController:
         """
         if not requests:
             raise ValueError("need at least one request to price the placements")
-        model = LatencyModel(problem_now, self.network)
+        model = self.latency_model_for(problem_now)
         candidate = greedy_placement(problem_now)
         new_latency = model.objective(requests, candidate) / len(requests)
 

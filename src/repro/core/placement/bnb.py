@@ -1,0 +1,585 @@
+"""Exact branch-and-bound placement — brute force's result beyond its scale.
+
+The paper's "Upper" baseline enumerates all ``N^M`` single-copy assignments
+(fine at 4 modules x 5 devices = 625, hopeless at 10 x 32 ≈ 10^15).  This
+solver searches the same space with an admissible lower bound and residual
+memory pruning, and returns **the identical placement and objective** as
+:func:`~repro.core.placement.optimal.optimal_placement`'s brute force —
+including its deterministic tie-break toward the lexicographically smallest
+assignment.
+
+Bound (per request class, fanned out in request order):
+
+- an *assigned* encoder path costs exactly ``in + compute + out`` (its true
+  cost minus the non-negative same-device queue wait);
+- an *unassigned* encoder path is lower-bounded by the cheapest such cost
+  over every device whose total memory fits the module (and the cheapest
+  head host when the head is also unassigned);
+- the head costs its compute time, minimized over fitting devices while
+  unassigned; the parallel encoder stage takes the max over path bounds.
+
+Every term is a min/max/sum over the *same precomputed floats*
+(:mod:`repro.core.placement.tensors`) the exact objective uses, and
+IEEE-754 addition/min/max are monotonic, so the bound never exceeds the
+true objective of any completion.
+
+The search runs in two phases because Eq. 2's max-over-paths creates large
+equal-objective plateaus (moving a non-bottleneck encoder changes nothing):
+
+1. **Value phase** — heads-first, best-bound-first DFS seeded with the
+   greedy incumbent, pruning ``bound >= best``: a subtree whose bound ties
+   the incumbent cannot *strictly* improve it, so plateaus die instantly.
+   Yields the optimal objective ``V``.
+2. **Tie-break phase** — DFS in the brute-force tie-key order (modules by
+   sorted name, devices by sorted name), pruning ``bound > V``, stopping at
+   the **first** leaf whose objective equals ``V`` — by construction the
+   lexicographically-smallest optimal assignment, i.e. brute force's pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.core.placement.tensors import CostTensors, RequestGroup, _lpt_waits
+from repro.utils.errors import PlacementError
+
+
+class _GroupBound:
+    """Admissible per-(model, source) latency bounds under partial assignment."""
+
+    def __init__(self, tensors: CostTensors, group: RequestGroup) -> None:
+        self.group = group
+        self.tensors = tensors
+        self.parallel = tensors.parallel
+        self.encoder_idx = group.encoder_idx
+        self.head_idx = group.head_idx
+        self.members = tuple(set(group.encoder_idx) | {group.head_idx})
+        head_fit = tensors.fits[group.head_idx]
+        if not head_fit.any():
+            raise PlacementError(
+                f"module {group.head_name!r} fits on no device; "
+                "apply compression or intra-module partitioning first (paper Sec. V-B)"
+            )
+        self.head_comp = group.head_comp
+        self.head_min = float(np.min(group.head_comp[head_fit]))
+        # Per encoder path e (arrays over the device axis):
+        #   A[e][ne]          in_comm + compute with the encoder on ne
+        #   enc_assigned[e]   A + (cheapest out over fitting head hosts)
+        #   head_assigned[e]  cheapest (A + out[:, nh]) over fitting encoder hosts
+        #   free[e]           cheapest over both endpoints
+        self.A: List[np.ndarray] = []
+        self.enc_assigned: List[np.ndarray] = []
+        self.head_assigned: List[np.ndarray] = []
+        self.free: List[float] = []
+        self.out_min: List[np.ndarray] = []
+        for e, idx in enumerate(group.encoder_idx):
+            fit = tensors.fits[idx]
+            if not fit.any():
+                raise PlacementError(
+                    f"module {group.encoder_names[e]!r} fits on no device; "
+                    "apply compression or intra-module partitioning first (paper Sec. V-B)"
+                )
+            A = group.in_comm[e] + group.enc_comp[e]
+            out = group.out[e]
+            out_min = np.min(out[:, head_fit], axis=1)
+            masked = np.where(fit[:, None], A[:, None] + out, np.inf)
+            self.A.append(A)
+            self.out_min.append(out_min)
+            self.enc_assigned.append(A + out_min)
+            self.head_assigned.append(np.min(masked, axis=0))
+            self.free.append(float(np.min(self.enc_assigned[e][fit])))
+
+    # ------------------------------------------------------------------
+    # Contention: Eq. 2's max is blind to ``parallel_slots`` until queue
+    # waits appear, so co-locating encoders on the fastest device looks
+    # free to the per-path bound.  For any device ``n`` hosting assigned
+    # encoder set S_n, the LPT makespan of the final set S*_n ⊇ S_n is at
+    # least ``sum(compute(S_n)) / slots_n``, and the last-finishing path
+    # also pays its input and output transfers — at least the minimum over
+    # S_n plus every still-unassigned encoder (any of which may join n).
+    # The slack factor absorbs float-rounding differences (the true stage
+    # is accumulated in a different operation order); it is ~1e5 times any
+    # accumulated ulp error yet far below meaningful latency differences.
+    # ------------------------------------------------------------------
+    _CONTENTION_SLACK = 1.0 - 1e-9
+
+    def _contention_state(self, assign: np.ndarray):
+        """Assigned per-device loads/members and the unassigned path list."""
+        loads: Dict[int, float] = {}
+        members: Dict[int, List[int]] = {}
+        unassigned: List[int] = []
+        for e, idx in enumerate(self.encoder_idx):
+            ne = int(assign[idx])
+            if ne >= 0:
+                loads[ne] = loads.get(ne, 0.0) + float(self.group.enc_comp[e][ne])
+                members.setdefault(ne, []).append(e)
+            else:
+                unassigned.append(e)
+        return loads, members, unassigned
+
+    def _contention_term(self, n: int, pool: List[int], load: float, nh: int) -> float:
+        """Admissible stage bound from slot pressure on device ``n``."""
+        in_min = min(float(self.group.in_comm[e][n]) for e in pool)
+        if nh >= 0:
+            out_floor = min(float(self.group.out[e][n, nh]) for e in pool)
+        else:
+            out_floor = min(float(self.out_min[e][n]) for e in pool)
+        return (in_min + load / self.tensors.slots[n] + out_floor) * self._CONTENTION_SLACK
+
+    def _contention(self, assign: np.ndarray, nh: int) -> float:
+        """Max contention term over devices whose slots are oversubscribed."""
+        if not self.parallel:
+            return 0.0
+        loads, members, unassigned = self._contention_state(assign)
+        best = 0.0
+        for n, here in members.items():
+            if len(here) <= self.tensors.slots[n]:
+                continue
+            term = self._contention_term(n, here + unassigned, loads[n], nh)
+            if term > best:
+                best = term
+        return best
+
+    # ------------------------------------------------------------------
+    def lower_bound(self, assign: np.ndarray) -> float:
+        """Scalar bound for the current partial assignment.
+
+        **Exact** (queue waits included) once every member module is
+        assigned — at that point the bound equals the group's true latency,
+        so the value phase's ``>=`` prune filters deep nodes exactly.
+        """
+        if all(assign[i] >= 0 for i in self.members):
+            return float(self.group.total_for_assignment(self.tensors, assign))
+        nh = int(assign[self.head_idx])
+        terms = []
+        for e, idx in enumerate(self.encoder_idx):
+            ne = int(assign[idx])
+            if ne >= 0:
+                if nh >= 0:
+                    terms.append(self.A[e][ne] + self.group.out[e][ne, nh])
+                else:
+                    terms.append(self.enc_assigned[e][ne])
+            elif nh >= 0:
+                terms.append(self.head_assigned[e][nh])
+            else:
+                terms.append(self.free[e])
+        if not terms:
+            encoder = 0.0
+        elif self.parallel:
+            encoder = max(terms)
+            contention = self._contention(assign, nh)
+            if contention > encoder:
+                encoder = contention
+        else:
+            encoder = 0.0
+            for term in terms:
+                encoder = encoder + term
+        head = self.head_comp[nh] if nh >= 0 else self.head_min
+        return float(encoder + head)
+
+    def bound_vector(self, assign: np.ndarray, module_index: int) -> np.ndarray:
+        """Bound per candidate device if ``module_index`` were placed there.
+
+        ``module_index`` must be used by this group (as an encoder, the
+        head, or both roles at once).  When placing it *completes* the
+        group, the vector holds exact (wait-inclusive) latencies.
+        """
+        if all(assign[i] >= 0 for i in self.members if i != module_index):
+            return self._exact_vector(assign, module_index)
+        nh = int(assign[self.head_idx])
+        head_here = module_index == self.head_idx
+        terms: List[object] = []  # scalars and [N] vectors, in path order
+        for e, idx in enumerate(self.encoder_idx):
+            ne = int(assign[idx])
+            if idx == module_index:
+                # This path's encoder is the module being placed.
+                if head_here:
+                    # Module doubles as the head: both endpoints co-locate.
+                    terms.append(self.A[e] + np.diagonal(self.group.out[e]))
+                elif nh >= 0:
+                    terms.append(self.A[e] + self.group.out[e][:, nh])
+                else:
+                    terms.append(self.enc_assigned[e])
+            elif head_here:
+                # The head is being placed; encoder e is fixed or free.
+                if ne >= 0:
+                    terms.append(self.A[e][ne] + self.group.out[e][ne, :])
+                else:
+                    terms.append(self.head_assigned[e])
+            else:
+                # Path untouched by this move: same scalar as lower_bound.
+                if ne >= 0:
+                    if nh >= 0:
+                        terms.append(self.A[e][ne] + self.group.out[e][ne, nh])
+                    else:
+                        terms.append(self.enc_assigned[e][ne])
+                elif nh >= 0:
+                    terms.append(self.head_assigned[e][nh])
+                else:
+                    terms.append(self.free[e])
+        if not terms:
+            encoder = 0.0
+        elif self.parallel:
+            encoder = terms[0]
+            for term in terms[1:]:
+                encoder = np.maximum(encoder, term)
+        else:
+            encoder = 0.0
+            for term in terms:
+                encoder = encoder + term
+        if terms and self.parallel:
+            # Base contention (moving module still unassigned) is admissible
+            # for every candidate; candidates that oversubscribe a device's
+            # slots with the newcomer get the tightened per-device term.
+            base = self._contention(assign, -1 if head_here else nh)
+            if base > 0.0:
+                encoder = np.maximum(encoder, base)
+            if not head_here:
+                encoder = np.asarray(encoder, dtype=np.float64) + np.zeros(len(self.head_comp))
+                loads, members, unassigned = self._contention_state(assign)
+                e0 = next(
+                    e for e in range(len(self.encoder_idx))
+                    if self.encoder_idx[e] == module_index
+                )
+                joiners = [e for e in unassigned if e != e0]
+                for n in range(len(self.head_comp)):
+                    here = members.get(n, ())
+                    if len(here) + 1 <= self.tensors.slots[n]:
+                        continue
+                    load = loads.get(n, 0.0) + float(self.group.enc_comp[e0][n])
+                    term = self._contention_term(n, list(here) + [e0] + joiners, load, nh)
+                    if term > encoder[n]:
+                        encoder[n] = term
+        head = self.head_comp if head_here else (self.head_comp[nh] if nh >= 0 else self.head_min)
+        return np.broadcast_to(
+            np.asarray(encoder + head, dtype=np.float64), self.head_comp.shape
+        ).copy()
+
+    def _exact_vector(self, assign: np.ndarray, module_index: int) -> np.ndarray:
+        """True group latency per candidate device for the last free member.
+
+        Queue waits are per-device: placing the last module on ``n`` can
+        only change waits *on* ``n``, so the LPT recomputation is confined
+        to candidates that would actually exceed their slots; every other
+        entry is pure array math over the precomputed tensors (and uses the
+        same float-operation order, so entries stay bit-exact).
+        """
+        group, tensors = self.group, self.tensors
+        n_devices = len(self.head_comp)
+        n_encoders = len(self.encoder_idx)
+        moving = [e for e in range(n_encoders) if self.encoder_idx[e] == module_index]
+        head_moving = self.head_idx == module_index
+
+        if head_moving and moving:  # dual-role module: rare, go scalar
+            fixed_enc = [int(assign[i]) for i in self.encoder_idx]
+            values = np.empty(n_devices, dtype=np.float64)
+            for n in range(n_devices):
+                hosts = [n if e in moving else fixed_enc[e] for e in range(n_encoders)]
+                values[n] = group.total(tensors, hosts, n)
+            return values
+
+        if head_moving:
+            # Encoder hosts (hence waits) are fixed; only out_comm varies.
+            hosts = [int(assign[i]) for i in self.encoder_idx]
+            comps = [group.enc_comp[e][hosts[e]] for e in range(n_encoders)]
+            if self.parallel:
+                waits = _lpt_waits(hosts, comps, tensors.slots)
+            else:
+                waits = [0.0] * n_encoders
+            stage: object = 0.0
+            path_vectors = [
+                (group.in_comm[e][hosts[e]] + waits[e] + comps[e])
+                + group.out[e][hosts[e], :]
+                for e in range(n_encoders)
+            ]
+            if self.parallel:
+                stage = path_vectors[0]
+                for vector in path_vectors[1:]:
+                    stage = np.maximum(stage, vector)
+            else:
+                for vector in path_vectors:
+                    stage = stage + vector
+            return stage + self.head_comp
+
+        # One encoder is moving; the head and all other encoders are fixed.
+        e0 = moving[0]
+        nh = int(assign[self.head_idx])
+        hosts = [int(assign[self.encoder_idx[e]]) if e != e0 else -1 for e in range(n_encoders)]
+        others = [e for e in range(n_encoders) if e != e0]
+        if self.parallel:
+            counts: Dict[int, int] = {}
+            for e in others:
+                counts[hosts[e]] = counts.get(hosts[e], 0) + 1
+            base_waits = _lpt_waits(
+                [hosts[e] for e in others],
+                [group.enc_comp[e][hosts[e]] for e in others],
+                self.tensors.slots,
+            )
+            waits = [0.0] * n_encoders
+            for pos, e in enumerate(others):
+                waits[e] = base_waits[pos]
+        else:
+            counts = {}
+            waits = [0.0] * n_encoders
+        fixed_totals = [
+            group.in_comm[e][hosts[e]] + waits[e] + group.enc_comp[e][hosts[e]]
+            + group.out[e][hosts[e], nh]
+            for e in others
+        ]
+        moving_vector = (group.in_comm[e0] + group.enc_comp[e0]) + group.out[e0][:, nh]
+        if self.parallel:
+            stage = moving_vector
+            for value in fixed_totals:
+                stage = np.maximum(stage, value)
+        else:
+            stage = 0.0
+            for e in range(n_encoders):
+                stage = stage + (moving_vector if e == e0 else fixed_totals[others.index(e)])
+        values = np.asarray(stage + self.head_comp[nh], dtype=np.float64).copy()
+        if self.parallel:
+            # Candidates where the newcomer overflows the device's slots
+            # need the true LPT schedule (waits change on that device only).
+            for n in range(n_devices):
+                if counts.get(n, 0) + 1 > self.tensors.slots[n]:
+                    full_hosts = [n if e == e0 else hosts[e] for e in range(n_encoders)]
+                    values[n] = group.total(self.tensors, full_hosts, nh)
+        return values
+
+
+@dataclass
+class BnBStats:
+    """Search accounting (exposed for the scaling benchmarks)."""
+
+    nodes: int = 0
+    leaves: int = 0
+    pruned: int = 0
+
+
+
+
+class _Search:
+    """Shared state for both phases of the branch-and-bound."""
+
+    def __init__(
+        self,
+        tensors: CostTensors,
+        requests: Sequence[InferenceRequest],
+        stats: BnBStats,
+    ) -> None:
+        self.tensors = tensors
+        self.stats = stats
+        self.n_modules = tensors.n_modules
+        self.n_devices = tensors.n_devices
+        self.memory = [int(b) for b in tensors.memory]
+        self.residual = [int(b) for b in tensors.capacity]
+        self.assign = np.full(self.n_modules, -1, dtype=np.int64)
+
+        # Request-class bookkeeping: price each (model, source) class once.
+        self.groups: List[RequestGroup] = []
+        self.bounds: List[_GroupBound] = []
+        self.group_of_request: List[int] = []
+        index_of: Dict[Tuple[int, str], int] = {}
+        for request in requests:
+            key = (id(request.model), request.source)
+            if key not in index_of:
+                index_of[key] = len(self.groups)
+                group = tensors.group(request.model, request.source)
+                self.groups.append(group)
+                self.bounds.append(_GroupBound(tensors, group))
+            self.group_of_request.append(index_of[key])
+        self.groups_using: List[List[int]] = [[] for _ in range(self.n_modules)]
+        for g, group in enumerate(self.groups):
+            for idx in set(group.encoder_idx) | {group.head_idx}:
+                self.groups_using[idx].append(g)
+        self.group_lb = [bound.lower_bound(self.assign) for bound in self.bounds]
+
+    # ------------------------------------------------------------------
+    def leaf_objective(self) -> float:
+        """Exact objective of the full assignment (request-order summation,
+        bit-identical to ``CostTensors.objective`` on the same placement)."""
+        total = 0.0
+        cache: List[Optional[float]] = [None] * len(self.groups)
+        for g in self.group_of_request:
+            value = cache[g]
+            if value is None:
+                value = self.groups[g].total_for_assignment(self.tensors, self.assign)
+                cache[g] = value
+            total = total + value
+        return float(total)
+
+    def node_bounds(self, m: int) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+        """Per-device total bound if module ``m`` went to each device."""
+        affected = self.groups_using[m]
+        per_group: Dict[int, np.ndarray] = {
+            g: self.bounds[g].bound_vector(self.assign, m) for g in affected
+        }
+        total = np.zeros(self.n_devices, dtype=np.float64)
+        for g in self.group_of_request:
+            total = total + (per_group[g] if g in per_group else self.group_lb[g])
+        return total, per_group
+
+    def descend(self, m: int, n: int, per_group: Dict[int, np.ndarray]) -> List[Tuple[int, float]]:
+        self.assign[m] = n
+        self.residual[n] -= self.memory[m]
+        saved = [(g, self.group_lb[g]) for g in per_group]
+        for g, vector in per_group.items():
+            self.group_lb[g] = float(vector[n])
+        return saved
+
+    def ascend(self, m: int, n: int, saved: List[Tuple[int, float]]) -> None:
+        for g, value in saved:
+            self.group_lb[g] = value
+        self.residual[n] += self.memory[m]
+        self.assign[m] = -1
+
+
+def branch_and_bound_placement(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    parallel: bool = True,
+    tensors: Optional[CostTensors] = None,
+    stats: Optional[BnBStats] = None,
+) -> Tuple[Placement, float]:
+    """The latency-optimal single-copy placement and its objective.
+
+    Identical to brute force (same argmin, same tie-break toward the
+    lexicographically smallest assignment, same float objective) — verified
+    property-style in ``tests/test_placement_tensors.py``.
+    """
+    if not requests:
+        raise PlacementError("optimal placement needs at least one request to score")
+    net = network if network is not None else Network()
+    if net.has_jitter:
+        # Cost tensors cache transfer prices, which would freeze one random
+        # jitter draw into the whole search — silently diverging from the
+        # scalar path.  The brute-force solver prices through the scalar
+        # fallback and stays correct under (deterministic) jitter hooks.
+        raise PlacementError(
+            "branch-and-bound prices through cached cost tensors, which "
+            "would freeze the network's jitter hook; clear the jitter or "
+            "use optimal_placement(..., solver='brute')"
+        )
+    if tensors is None:
+        tensors = CostTensors(problem, net, parallel=parallel)
+    else:
+        tensors.check_compatible(problem, net, parallel)
+    stats = stats if stats is not None else BnBStats()
+    search = _Search(tensors, requests, stats)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — optimal value.  Branch heads first (they pin every path's
+    # output-transfer endpoint, tightening all bounds at once), then
+    # encoders by descending best-case path cost: Eq. 2's max means the
+    # most expensive path decides the stage, so fixing critical encoders
+    # early moves the bound the most; modules no request uses go last.
+    # Pruning is ``bound >= best``: such subtrees cannot strictly improve.
+    # ------------------------------------------------------------------
+    head_modules = {g.head_idx for g in search.groups}
+    criticality = [0.0] * search.n_modules
+    for bound in search.bounds:
+        for e, idx in enumerate(bound.encoder_idx):
+            criticality[idx] = max(criticality[idx], bound.free[e])
+
+    def value_order_key(m: int) -> Tuple[int, int, float, int, str]:
+        unused = 0 if search.groups_using[m] else 1
+        is_head = 0 if m in head_modules else 1
+        return (unused, is_head, -criticality[m], -search.memory[m], tensors.module_names[m])
+
+    value_order = sorted(range(search.n_modules), key=value_order_key)
+
+    best_value = float("inf")
+    # Seed the incumbent with greedy Algorithm 1 (a member of the search
+    # space) so deep subtrees prune early; exactness does not depend on it.
+    try:
+        from repro.core.placement.greedy import greedy_placement
+
+        seed = greedy_placement(problem)
+        for name, hosts in seed.as_dict().items():
+            search.assign[tensors.module_idx(name)] = tensors.device_idx(hosts[0])
+        best_value = search.leaf_objective()
+    except PlacementError:
+        pass
+    finally:
+        search.assign[:] = -1
+
+    def value_dfs(depth: int) -> None:
+        nonlocal best_value
+        stats.nodes += 1
+        m = value_order[depth]
+        node_bound, per_group = search.node_bounds(m)
+        candidates = [
+            n for n in range(search.n_devices)
+            if search.residual[n] >= search.memory[m]
+        ]
+        candidates.sort(key=lambda n: node_bound[n])
+        for n in candidates:
+            # ``best_value`` is always *attained* (greedy seed or a visited
+            # leaf), so a subtree whose bound ties it cannot strictly
+            # improve — prune on >=, which collapses Eq. 2's max-plateaus.
+            if node_bound[n] >= best_value:
+                stats.pruned += 1
+                continue
+            saved = search.descend(m, n, per_group)
+            if depth + 1 == search.n_modules:
+                stats.leaves += 1
+                objective = search.leaf_objective()
+                if objective < best_value:
+                    best_value = objective
+            else:
+                value_dfs(depth + 1)
+            search.ascend(m, n, saved)
+
+    value_dfs(0)
+    if best_value == float("inf"):
+        raise PlacementError("no memory-feasible placement exists for this instance")
+
+    # ------------------------------------------------------------------
+    # Phase 2 — brute force's argmin.  Enumerate in tie-key order (modules
+    # by sorted name, devices by sorted name) pruning ``bound > V``; the
+    # first leaf that attains V is the lexicographically-smallest optimum.
+    # ------------------------------------------------------------------
+    tie_module_order = sorted(range(search.n_modules), key=lambda m: tensors.module_names[m])
+    tie_device_order = sorted(range(search.n_devices), key=lambda n: tensors.device_names[n])
+
+    def tie_dfs(depth: int) -> Optional[np.ndarray]:
+        stats.nodes += 1
+        m = tie_module_order[depth]
+        node_bound, per_group = search.node_bounds(m)
+        for n in tie_device_order:
+            if search.residual[n] < search.memory[m]:
+                continue
+            if node_bound[n] > best_value:
+                stats.pruned += 1
+                continue
+            saved = search.descend(m, n, per_group)
+            if depth + 1 == search.n_modules:
+                stats.leaves += 1
+                if search.leaf_objective() == best_value:
+                    winner = search.assign.copy()
+                    search.ascend(m, n, saved)
+                    return winner
+            else:
+                winner = tie_dfs(depth + 1)
+                if winner is not None:
+                    search.ascend(m, n, saved)
+                    return winner
+            search.ascend(m, n, saved)
+        return None
+
+    best_assign = tie_dfs(0)
+    if best_assign is None:  # pragma: no cover - phase 1 proved V is attained
+        raise PlacementError("no memory-feasible placement exists for this instance")
+    placement = Placement(
+        {
+            tensors.module_names[m]: (tensors.device_names[int(best_assign[m])],)
+            for m in range(search.n_modules)
+        }
+    )
+    return placement, best_value

@@ -1,17 +1,25 @@
-"""Brute-force optimal placement — the paper's "Upper" baseline.
+"""Exact optimal placement — the paper's "Upper" baseline, at two scales.
 
-Enumerates every assignment of modules to devices (single copy each),
-filters memory-infeasible ones (Eq. 4d), and scores the rest with the
-analytic objective (Eq. 4a) under fastest-host routing.  With the paper's
-problem sizes (<= 4 modules, <= 5 devices) this is at most 5^4 = 625
-evaluations, which is why the paper can report exact optimality rates
-(89/95 instances).
+``solver="brute"`` enumerates every assignment of modules to devices
+(single copy each), filters memory-infeasible ones (Eq. 4d), and scores the
+rest with the analytic objective (Eq. 4a) under fastest-host routing.  With
+the paper's problem sizes (<= 4 modules, <= 5 devices) this is at most
+5^4 = 625 evaluations, which is why the paper can report exact optimality
+rates (89/95 instances).
+
+``solver="bnb"`` (the ``"auto"`` default) runs the branch-and-bound search
+in :mod:`repro.core.placement.bnb` instead: the same argmin, objective and
+tie-break — property-tested bit-for-bit against brute force — but pruned by
+an admissible latency bound and residual memory, so it scales far past
+``MAX_ASSIGNMENTS`` (~10 modules x ~32 devices in seconds).
+
+Candidate scoring runs on the shared cost tensors
+(:mod:`repro.core.placement.tensors`) either way.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
@@ -21,28 +29,49 @@ from repro.utils.errors import PlacementError
 #: Safety cap on the enumeration size; beyond it, brute force is not the tool.
 MAX_ASSIGNMENTS = 2_000_000
 
+#: Accepted ``solver`` values for :func:`optimal_placement`.
+SOLVERS = ("auto", "bnb", "brute")
 
-def enumerate_placements(problem: PlacementProblem):
-    """Yield every memory-feasible single-copy placement."""
+
+def enumerate_placements(problem: PlacementProblem) -> Iterator[Placement]:
+    """Yield every memory-feasible single-copy placement.
+
+    Same lexicographic order as the original ``itertools.product`` sweep,
+    but walks an index-based residual-capacity vector with undo, so an
+    infeasible prefix prunes its whole subtree instead of being re-checked
+    once per completion, and no per-candidate capacity dict is copied.
+    """
     modules = list(problem.modules)
     device_names = [device.name for device in problem.devices]
     total = len(device_names) ** len(modules)
     if total > MAX_ASSIGNMENTS:
         raise PlacementError(
             f"brute force would enumerate {total} assignments (> {MAX_ASSIGNMENTS}); "
-            "use the greedy solver for instances of this size"
+            "use branch_and_bound_placement (exact, memory/bound-pruned) or "
+            "greedy_placement for instances of this size"
         )
-    capacities = {device.name: device.memory_bytes for device in problem.devices}
-    for combo in itertools.product(device_names, repeat=len(modules)):
-        residual = dict(capacities)
-        feasible = True
-        for module, host in zip(modules, combo):
-            residual[host] -= module.memory_bytes
-            if residual[host] < 0:
-                feasible = False
-                break
-        if feasible:
-            yield Placement({module.name: (host,) for module, host in zip(modules, combo)})
+    memory = [module.memory_bytes for module in modules]
+    residual = [device.memory_bytes for device in problem.devices]
+    choice = [0] * len(modules)
+
+    def walk(index: int) -> Iterator[Placement]:
+        if index == len(modules):
+            yield Placement(
+                {
+                    module.name: (device_names[choice[i]],)
+                    for i, module in enumerate(modules)
+                }
+            )
+            return
+        need = memory[index]
+        for n in range(len(device_names)):
+            if residual[n] >= need:
+                residual[n] -= need
+                choice[index] = n
+                yield from walk(index + 1)
+                residual[n] += need
+
+    yield from walk(0)
 
 
 def optimal_placement(
@@ -50,19 +79,40 @@ def optimal_placement(
     requests: Sequence[InferenceRequest],
     network: Optional[Network] = None,
     parallel: bool = True,
+    solver: str = "auto",
+    tensors=None,
 ) -> Tuple[Placement, float]:
     """The latency-optimal placement and its objective value.
 
     Ties break toward the lexicographically-smallest assignment so results
-    are deterministic.
+    are deterministic — under every ``solver`` (``"auto"``/``"bnb"`` run
+    branch-and-bound, ``"brute"`` the exhaustive sweep; results are
+    identical, brute force just caps out at :data:`MAX_ASSIGNMENTS`).
+    ``tensors`` optionally shares a prebuilt
+    :class:`~repro.core.placement.tensors.CostTensors` for the same
+    (problem, network) pair so callers scoring with the same model avoid a
+    rebuild.
     """
+    if solver not in SOLVERS:
+        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
     if not requests:
         raise PlacementError("optimal placement needs at least one request to score")
-    # Imported here: repro.core.routing imports this package at module load,
-    # so a top-level import would cycle.
+    if solver == "auto" and network is not None and network.has_jitter:
+        # Branch-and-bound refuses jittered networks (its tensors would
+        # freeze the draws); brute force prices through the scalar fallback.
+        solver = "brute"
+    if solver in ("auto", "bnb"):
+        # Imported here: repro.core.routing imports this package at module
+        # load, so a top-level import would cycle.
+        from repro.core.placement.bnb import branch_and_bound_placement
+
+        return branch_and_bound_placement(
+            problem, requests, network=network, parallel=parallel, tensors=tensors
+        )
     from repro.core.routing.latency import LatencyModel
 
-    model = LatencyModel(problem, network if network is not None else Network(), parallel=parallel)
+    net = network if network is not None else Network()
+    model = LatencyModel(problem, net, parallel=parallel, tensors=tensors)
     best: Optional[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...], Placement]] = None
     found_any = False
     for placement in enumerate_placements(problem):

@@ -43,6 +43,14 @@ class PlacementProblem:
         if len(set(names)) != len(names):
             raise ConfigurationError("placement problem has duplicate modules")
         object.__setattr__(self, "compute_noise", MappingProxyType(dict(self.compute_noise)))
+        # Memoization caches (not dataclass fields: they do not participate
+        # in __eq__, and everything they derive from is frozen).  Candidate
+        # ranking in the greedy solver and enumeration scoring hit the same
+        # (module, device) pairs over and over; computing each once is the
+        # satellite companion of the cost-tensor layer.
+        object.__setattr__(self, "_device_by_name", {d.name: d for d in self.devices})
+        object.__setattr__(self, "_planning_scale_cache", {})
+        object.__setattr__(self, "_compute_seconds_cache", {})
 
     # ------------------------------------------------------------------
     # Timing oracles
@@ -52,21 +60,38 @@ class PlacementProblem:
 
         A shared text encoder serves retrieval's full prompt set and VQA's
         single question; placement must budget for the heavier use.
+        Memoized per module name (the model set is frozen).
         """
-        scales = [model.scale_for(module.name) for model in self.models
-                  if module.name in model.module_names]
-        return max(scales, default=1.0)
+        cache: Dict[str, float] = self._planning_scale_cache  # type: ignore[attr-defined]
+        try:
+            return cache[module.name]
+        except KeyError:
+            scales = [model.scale_for(module.name) for model in self.models
+                      if module.name in model.module_names]
+            cache[module.name] = scale = max(scales, default=1.0)
+            return scale
 
     def compute_seconds(self, module: ModuleSpec, device: DeviceProfile) -> float:
-        """Planning ``t^comp_{m,n}`` with the planning work scale and noise."""
-        base = device.compute_seconds(module, work_scale=self.planning_scale(module))
-        return base * self.compute_noise.get((module.name, device.name), 1.0)
+        """Planning ``t^comp_{m,n}`` with the planning work scale and noise.
+
+        Memoized per (module, device) name pair so candidate rankings in
+        :func:`~repro.core.placement.greedy.greedy_placement` and
+        enumeration scoring stop re-deriving identical values.
+        """
+        cache: Dict[Tuple[str, str], float] = self._compute_seconds_cache  # type: ignore[attr-defined]
+        key = (module.name, device.name)
+        try:
+            return cache[key]
+        except KeyError:
+            base = device.compute_seconds(module, work_scale=self.planning_scale(module))
+            cache[key] = value = base * self.compute_noise.get(key, 1.0)
+            return value
 
     def device(self, name: str) -> DeviceProfile:
-        for device in self.devices:
-            if device.name == name:
-                return device
-        raise ConfigurationError(f"unknown device {name!r} in problem")
+        try:
+            return self._device_by_name[name]  # type: ignore[attr-defined]
+        except KeyError:
+            raise ConfigurationError(f"unknown device {name!r} in problem") from None
 
     @staticmethod
     def from_models(

@@ -1,0 +1,421 @@
+"""Vectorized cost tensors under the analytic latency model.
+
+Every placement solver in this repo prices candidates with the same three
+oracles: per-(model, module, device) compute seconds, device-pair transfer
+costs, and the Eq. 2/3 head/encoder topology of each model.  Re-deriving
+them per candidate through :class:`~repro.core.routing.latency.LatencyModel`
+Python calls dominates brute-force enumeration, branch-and-bound, and the
+serving churn path alike.
+
+:class:`CostTensors` precomputes them **once per problem** as numpy arrays:
+
+- ``compute[k][m, n]`` — noise-scaled compute seconds of module ``m`` on
+  device ``n`` under model ``k``'s work scale (lazy per model);
+- ``in_comm[(source, payload)][n]`` — request-input transfer seconds from a
+  source device to each candidate encoder host;
+- ``out_comm[m][n_e, n_h]`` — embedding-shipping seconds for encoder ``m``
+  between every (encoder host, head host) device pair;
+- static masks: per-module memory, per-device capacity and parallel slots,
+  and the ``fits[m, n]`` memory-feasibility matrix.
+
+Every entry is produced by calling the *existing scalar oracles*
+(``DeviceProfile.compute_seconds``, ``Network.transfer_seconds``), and the
+reductions below replay the scalar code's float-operation order exactly, so
+tensorized prices are **bit-identical** to the scalar path — the property
+tests in ``tests/test_placement_tensors.py`` assert ``==`` on the floats.
+
+The layer is invalidated when the network topology changes (see
+``Network.version``) and is bypassed entirely when a stochastic jitter hook
+is installed (``Network.has_jitter``), because caching would freeze the
+jitter draw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.models import ModelSpec
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.utils.errors import ConfigurationError, PlacementError, RoutingError
+
+
+def _lpt_waits(device_idx: Sequence[int], computes: Sequence[float], slots_of: Sequence[int]) -> List[float]:
+    """Same-device serialization waits, replaying the scalar LPT exactly.
+
+    Mirrors ``LatencyModel._charge_same_device_serialization``: encoders
+    sharing a device beyond its ``parallel_slots`` are list-scheduled
+    longest-compute-first and charged the busy time of their slot.
+    """
+    by_device: Dict[int, List[int]] = {}
+    for index, dev in enumerate(device_idx):
+        by_device.setdefault(dev, []).append(index)
+    waits = [0.0] * len(device_idx)
+    for dev, indices in by_device.items():
+        slots = slots_of[dev]
+        if len(indices) <= slots:
+            continue
+        ordered = sorted(indices, key=lambda i: -computes[i])
+        slot_busy = [0.0] * slots
+        for i in ordered:
+            slot = min(range(slots), key=lambda s: slot_busy[s])
+            wait = slot_busy[slot]
+            slot_busy[slot] += computes[i]
+            if wait > 0:
+                waits[i] = wait
+    return waits
+
+
+class RequestGroup:
+    """Cached pricing arrays for one (model, source) request class.
+
+    Requests sharing a model spec and a source device have identical
+    isolated latency under any placement, so solvers price each class once
+    and fan the result out over the request list (in request order, to keep
+    the objective's left-to-right summation bit-identical).
+    """
+
+    __slots__ = (
+        "model", "source", "encoder_names", "head_name",
+        "encoder_idx", "head_idx", "in_comm", "enc_comp", "head_comp", "out",
+    )
+
+    def __init__(self, tensors: "CostTensors", model: ModelSpec, source: str) -> None:
+        self.model = model
+        self.source = source
+        self.encoder_names: Tuple[str, ...] = model.encoders
+        self.head_name: str = model.head
+        self.encoder_idx = [tensors.module_idx(name) for name in model.encoders]
+        self.head_idx = tensors.module_idx(model.head)
+        comp = tensors.model_compute(model)
+        self.enc_comp = [comp[i] for i in self.encoder_idx]
+        self.head_comp = comp[self.head_idx]
+        self.in_comm = []
+        for idx in self.encoder_idx:
+            module = tensors.modules[idx]
+            modality = module.modality or "image"
+            payload = model.payload_bytes(modality)
+            self.in_comm.append(tensors.in_comm(source, payload))
+        self.out = [tensors.out_comm(idx) for idx in self.encoder_idx]
+
+    def total(self, tensors: "CostTensors", enc_hosts: Sequence[int], head_host: int) -> float:
+        """Eq. 1-3 latency with encoders on ``enc_hosts`` and the head on
+        ``head_host`` (device indices) — bit-identical to the scalar path."""
+        ins, comps, outs = [], [], []
+        for e, ne in enumerate(enc_hosts):
+            ins.append(self.in_comm[e][ne])
+            comps.append(self.enc_comp[e][ne])
+            outs.append(self.out[e][ne, head_host])
+        if tensors.parallel:
+            waits = _lpt_waits(enc_hosts, comps, tensors.slots)
+        else:
+            waits = [0.0] * len(enc_hosts)
+        totals = [ins[e] + waits[e] + comps[e] + outs[e] for e in range(len(enc_hosts))]
+        if not totals:
+            encoder_latency = 0.0
+        elif tensors.parallel:
+            encoder_latency = max(totals)
+        else:
+            encoder_latency = sum(totals)
+        return encoder_latency + self.head_comp[head_host]
+
+    def total_for_assignment(self, tensors: "CostTensors", assign: Sequence[int]) -> float:
+        """Latency when module ``m`` sits on device ``assign[m]`` (single copy)."""
+        return self.total(
+            tensors, [assign[i] for i in self.encoder_idx], assign[self.head_idx]
+        )
+
+
+class CostTensors:
+    """Shared, precomputed cost arrays for one (problem, network) pair."""
+
+    def __init__(self, problem: PlacementProblem, network: Network, parallel: bool = True) -> None:
+        self.problem = problem
+        self.network = network
+        self.parallel = parallel
+        self.modules = problem.modules
+        self.module_names: List[str] = [m.name for m in problem.modules]
+        self._module_index: Dict[str, int] = {n: i for i, n in enumerate(self.module_names)}
+        self.device_names: List[str] = [d.name for d in problem.devices]
+        self._device_index: Dict[str, int] = {n: i for i, n in enumerate(self.device_names)}
+        self.n_modules = len(self.module_names)
+        self.n_devices = len(self.device_names)
+        #: Per-module weight bytes (Eq. 4d's ``r_m``) and per-device budgets.
+        self.memory = np.array([m.memory_bytes for m in problem.modules], dtype=np.int64)
+        self.capacity = np.array([d.memory_bytes for d in problem.devices], dtype=np.int64)
+        self.slots: List[int] = [d.parallel_slots for d in problem.devices]
+        #: ``fits[m, n]`` — module ``m``'s weights fit on an *empty* device ``n``.
+        self.fits = self.memory[:, None] <= self.capacity[None, :]
+        self.network_version = network.version
+        self._model_compute: Dict[int, Tuple[ModelSpec, np.ndarray]] = {}
+        self._in_comm: Dict[Tuple[str, int], np.ndarray] = {}
+        self._out_comm: Dict[int, np.ndarray] = {}
+        self._groups: Dict[Tuple[int, str], RequestGroup] = {}
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def module_idx(self, name: str) -> int:
+        try:
+            return self._module_index[name]
+        except KeyError:
+            raise RoutingError(f"module {name!r} is not part of this problem") from None
+
+    def device_idx(self, name: str) -> int:
+        try:
+            return self._device_index[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown device {name!r} in problem") from None
+
+    def has_device(self, name: str) -> bool:
+        return name in self._device_index
+
+    def has_module(self, name: str) -> bool:
+        return name in self._module_index
+
+    # ------------------------------------------------------------------
+    # Tensor builders (lazy; every entry comes from the scalar oracles)
+    # ------------------------------------------------------------------
+    def model_compute(self, model: ModelSpec) -> np.ndarray:
+        """``compute[m, n]`` under ``model``'s work scale (lazy per model).
+
+        Keyed by object identity: cloned specs (no-sharing deployments) get
+        their own rows, and holding the spec in the cache pins its id.
+        """
+        hit = self._model_compute.get(id(model))
+        if hit is not None:
+            return hit[1]
+        noise = self.problem.compute_noise
+        arr = np.empty((self.n_modules, self.n_devices), dtype=np.float64)
+        for i, module in enumerate(self.modules):
+            scale = model.scale_for(module.name)
+            for j, device in enumerate(self.problem.devices):
+                try:
+                    base = device.compute_seconds(module, work_scale=scale)
+                except ConfigurationError:
+                    arr[i, j] = np.inf  # scalar path would raise if ever priced
+                    continue
+                arr[i, j] = base * noise.get((module.name, device.name), 1.0)
+        self._model_compute[id(model)] = (model, arr)
+        return arr
+
+    def in_comm(self, source: str, payload_bytes: int) -> np.ndarray:
+        """Transfer seconds of a ``payload_bytes`` input from ``source`` to
+        every device (zero where the device *is* the source)."""
+        key = (source, payload_bytes)
+        arr = self._in_comm.get(key)
+        if arr is None:
+            arr = np.array(
+                [
+                    self.network.transfer_seconds(source, name, payload_bytes)
+                    for name in self.device_names
+                ],
+                dtype=np.float64,
+            )
+            self._in_comm[key] = arr
+        return arr
+
+    def out_comm(self, module_index: int) -> np.ndarray:
+        """Embedding transfer seconds ``[encoder host, head host]`` for one module."""
+        arr = self._out_comm.get(module_index)
+        if arr is None:
+            payload = self.modules[module_index].output_bytes
+            arr = np.array(
+                [
+                    [self.network.transfer_seconds(a, b, payload) for b in self.device_names]
+                    for a in self.device_names
+                ],
+                dtype=np.float64,
+            )
+            self._out_comm[module_index] = arr
+        return arr
+
+    def group(self, model: ModelSpec, source: str) -> RequestGroup:
+        key = (id(model), source)
+        group = self._groups.get(key)
+        if group is None:
+            group = RequestGroup(self, model, source)
+            self._groups[key] = group
+        return group
+
+    # ------------------------------------------------------------------
+    # Scalar lookups (LatencyModel delegates here)
+    # ------------------------------------------------------------------
+    def compute_value(self, model: ModelSpec, module_name: str, device_name: str) -> float:
+        """``t^comp`` for one (model, module, device) from the cached tensor."""
+        value = self.model_compute(model)[self.module_idx(module_name), self.device_idx(device_name)]
+        return float(value)
+
+    def check_compatible(self, problem: PlacementProblem, network: Network, parallel: bool) -> None:
+        """Refuse use against a different problem/network/mode.
+
+        A shared tensor cache silently deciding the parallel mode, problem,
+        or (possibly since-mutated) network would change results without an
+        error, so mismatches fail loudly instead.
+        """
+        if self.problem is not problem:
+            raise PlacementError("shared cost tensors were built for a different problem")
+        if self.network is not network:
+            raise PlacementError(
+                "shared cost tensors were built for a different network; pass "
+                "the same network= they were built with"
+            )
+        if self.parallel != parallel:
+            raise PlacementError(
+                f"shared cost tensors were built with parallel={self.parallel}, "
+                f"but the caller asked for parallel={parallel}"
+            )
+        if self.network_version != network.version:
+            raise PlacementError(
+                "shared cost tensors are stale: the network topology changed "
+                "after they were built; rebuild them (or let the caller build "
+                "its own by omitting tensors=)"
+            )
+
+    # ------------------------------------------------------------------
+    # Routing and objective (Eq. 7 + Problem 4a), bit-identical
+    # ------------------------------------------------------------------
+    def _checked(self, model: ModelSpec, row: np.ndarray, module_index: int, device_index: int) -> float:
+        """One compute entry; re-raises the scalar path's error on the inf
+        sentinel (a device with no throughput entry for the module's kind)."""
+        value = row[device_index]
+        if value == np.inf:
+            # Price through the scalar oracle so the caller gets the same
+            # ConfigurationError the non-tensorized path raises.
+            module = self.modules[module_index]
+            self.problem.devices[device_index].compute_seconds(
+                module, work_scale=model.scale_for(module.name)
+            )
+        return value
+
+    def route_hosts(self, request: InferenceRequest, placement: Placement) -> Dict[str, str]:
+        """Fastest-host routing (Eq. 7) against the cached compute tensor."""
+        comp = self.model_compute(request.model)
+        hosts: Dict[str, str] = {}
+        for module_name in request.model.module_names:
+            candidates = placement.hosts(module_name)
+            if not candidates:
+                raise RoutingError(f"module {module_name!r} has no hosts")
+            module_index = self.module_idx(module_name)
+            row = comp[module_index]
+            best = None
+            for device in candidates:  # same scan order as the scalar min()
+                key = (
+                    self._checked(request.model, row, module_index, self.device_idx(device)),
+                    device,
+                )
+                if best is None or key < best:
+                    best = key
+            hosts[module_name] = best[1]
+        return hosts
+
+    def total_latency(self, request: InferenceRequest, placement: Placement) -> float:
+        """Single-request Eq. 1 latency under fastest-host routing."""
+        hosts = self.route_hosts(request, placement)
+        return self._priced_total(request, hosts)
+
+    def _priced_total(self, request: InferenceRequest, hosts: Mapping[str, str]) -> float:
+        group = self.group(request.model, request.source)
+        enc_hosts = [self.device_idx(hosts[name]) for name in group.encoder_names]
+        return float(group.total(self, enc_hosts, self.device_idx(hosts[group.head_name])))
+
+    def objective(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Problem (4a)'s total latency, summed in request order.
+
+        Requests are deduplicated per (model, source) class; the per-class
+        price is computed once and re-added per request so the accumulation
+        order (and hence the float result) matches the scalar ``sum``.
+        """
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                value = self.total_latency(request, placement)
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+
+class IncrementalObjective:
+    """Objective tracking with O(affected groups) single-module moves.
+
+    Holds a single-copy assignment (module index -> device index) plus the
+    per-request-class prices; :meth:`move` re-prices only the classes whose
+    model uses the moved module and replays the request-order summation, so
+    the returned objective is bit-identical to
+    ``CostTensors.objective(requests, placement)`` on the same assignment.
+    """
+
+    def __init__(
+        self,
+        tensors: CostTensors,
+        requests: Sequence[InferenceRequest],
+        placement: Placement,
+    ) -> None:
+        self.tensors = tensors
+        self.requests = list(requests)
+        self.assign = np.empty(tensors.n_modules, dtype=np.int64)
+        for name, hosts in placement.as_dict().items():
+            if len(hosts) != 1:
+                raise ConfigurationError(
+                    "IncrementalObjective requires a single-copy placement; "
+                    f"module {name!r} has hosts {hosts}"
+                )
+            self.assign[tensors.module_idx(name)] = tensors.device_idx(hosts[0])
+        self._groups: List[RequestGroup] = []
+        self._group_of: List[int] = []
+        index_of: Dict[Tuple[int, str], int] = {}
+        for request in self.requests:
+            key = (id(request.model), request.source)
+            if key not in index_of:
+                index_of[key] = len(self._groups)
+                self._groups.append(tensors.group(request.model, request.source))
+            self._group_of.append(index_of[key])
+        self._uses: List[List[int]] = [[] for _ in range(tensors.n_modules)]
+        for g, group in enumerate(self._groups):
+            for idx in set(group.encoder_idx) | {group.head_idx}:
+                self._uses[idx].append(g)
+        self._totals = [
+            group.total_for_assignment(tensors, self.assign) for group in self._groups
+        ]
+
+    @property
+    def objective(self) -> float:
+        """Current objective (request-order summation, bit-identical)."""
+        total = 0.0
+        for g in self._group_of:
+            total = total + self._totals[g]
+        return float(total)
+
+    def move(self, module_name: str, device_name: str) -> float:
+        """Move ``module_name`` to ``device_name``; returns the new objective."""
+        m = self.tensors.module_idx(module_name)
+        n = self.tensors.device_idx(device_name)
+        self.assign[m] = n
+        for g in self._uses[m]:
+            self._totals[g] = self._groups[g].total_for_assignment(self.tensors, self.assign)
+        return self.objective
+
+    def delta(self, module_name: str, device_name: str) -> float:
+        """Objective change if the move were applied (state restored after)."""
+        m = self.tensors.module_idx(module_name)
+        before_device = int(self.assign[m])
+        before = self.objective
+        after = self.move(module_name, device_name)
+        self.move(module_name, self.tensors.device_names[before_device])
+        return after - before
+
+    def placement(self) -> Placement:
+        """The current assignment as a :class:`Placement`."""
+        names = self.tensors.device_names
+        return Placement(
+            {
+                self.tensors.module_names[m]: (names[int(self.assign[m])],)
+                for m in range(self.tensors.n_modules)
+            }
+        )

@@ -99,24 +99,69 @@ class LatencyBreakdown:
 
 
 class LatencyModel:
-    """Prices requests against a placement on a network of devices."""
+    """Prices requests against a placement on a network of devices.
+
+    Routing, single-request pricing, and the objective run on the shared
+    :class:`~repro.core.placement.tensors.CostTensors` layer (precomputed
+    per-problem numpy arrays, bit-identical to the scalar formulas); the
+    ``*_scalar`` methods keep the original loop implementations as the
+    reference path, and pricing falls back to them automatically when the
+    network carries a stochastic jitter hook.
+    """
 
     def __init__(
         self,
         problem: PlacementProblem,
         network: Network,
         parallel: bool = True,
+        use_tensors: bool = True,
+        tensors=None,
     ) -> None:
         self.problem = problem
         self.network = network
         self.parallel = parallel
+        self.use_tensors = use_tensors
         self._modules: Dict[str, ModuleSpec] = {m.name: m for m in problem.modules}
+        if tensors is not None:
+            # Adopt a caller-shared CostTensors (e.g. one tensor build priced
+            # both greedy and the exact solver); validated, never trusted.
+            tensors.check_compatible(problem, network, parallel)
+        self._tensors = tensors
+
+    @property
+    def tensors(self):
+        """The shared cost-tensor layer, or None while jitter forces scalar.
+
+        Rebuilt lazily whenever the network's topology version moves.
+        """
+        if not self.use_tensors or getattr(self.network, "has_jitter", False):
+            return None
+        version = getattr(self.network, "version", 0)
+        if (
+            self._tensors is None
+            or self._tensors.network is not self.network
+            or self._tensors.network_version != version
+        ):
+            from repro.core.placement.tensors import CostTensors
+
+            self._tensors = CostTensors(self.problem, self.network, parallel=self.parallel)
+        return self._tensors
 
     # ------------------------------------------------------------------
     # Timing oracles (request-scaled, unlike the problem's planning scale)
     # ------------------------------------------------------------------
     def compute_seconds(self, request: InferenceRequest, module_name: str, device_name: str) -> float:
         """``t^comp_{m,n}`` with the requesting model's work scale."""
+        tensors = self.tensors
+        if tensors is not None and tensors.has_module(module_name) and tensors.has_device(device_name):
+            value = tensors.compute_value(request.model, module_name, device_name)
+            if value != float("inf"):  # inf marks a missing-throughput entry:
+                return value           # fall through so the scalar path raises
+        return self.compute_seconds_scalar(request, module_name, device_name)
+
+    def compute_seconds_scalar(self, request: InferenceRequest, module_name: str, device_name: str) -> float:
+        """``t^comp`` through the device oracle directly — never the tensor
+        cache, so the ``*_scalar`` reference paths stay fully independent."""
         module = self._module(module_name)
         device = self.problem.device(device_name)
         base = device.compute_seconds(module, work_scale=request.model.scale_for(module_name))
@@ -136,6 +181,15 @@ class LatencyModel:
     # Eq. 7: route each required module to its fastest hosting device
     # ------------------------------------------------------------------
     def route(self, request: InferenceRequest, placement: Placement) -> RoutingDecision:
+        tensors = self.tensors
+        if tensors is not None:
+            return RoutingDecision(
+                request=request, hosts=tensors.route_hosts(request, placement)
+            )
+        return self.route_scalar(request, placement)
+
+    def route_scalar(self, request: InferenceRequest, placement: Placement) -> RoutingDecision:
+        """Reference implementation of Eq. 7 (no tensor cache)."""
         hosts: Dict[str, str] = {}
         for module_name in request.model.module_names:
             candidates = placement.hosts(module_name)
@@ -143,7 +197,10 @@ class LatencyModel:
                 raise RoutingError(f"module {module_name!r} has no hosts")
             hosts[module_name] = min(
                 candidates,
-                key=lambda device: (self.compute_seconds(request, module_name, device), device),
+                key=lambda device: (
+                    self.compute_seconds_scalar(request, module_name, device),
+                    device,
+                ),
             )
         return RoutingDecision(request=request, hosts=hosts)
 
@@ -155,6 +212,15 @@ class LatencyModel:
         routing: Optional[RoutingDecision] = None,
     ) -> LatencyBreakdown:
         """Price one request (single-request, no queueing)."""
+        return self._breakdown(request, placement, routing, self.compute_seconds)
+
+    def _breakdown(
+        self,
+        request: InferenceRequest,
+        placement: Placement,
+        routing: Optional[RoutingDecision],
+        compute_seconds,
+    ) -> LatencyBreakdown:
         decision = routing if routing is not None else self.route(request, placement)
         # Resolve modules from the problem's table (NOT the global catalog):
         # the no-sharing deployment uses per-model cloned module names that
@@ -169,14 +235,14 @@ class LatencyModel:
             input_comm = self.network.transfer_seconds(
                 request.source, device, request.model.payload_bytes(modality)
             )
-            compute = self.compute_seconds(request, encoder.name, device)
+            compute = compute_seconds(request, encoder.name, device)
             output_comm = self.network.transfer_seconds(device, head_device, encoder.output_bytes)
             paths.append(
                 EncoderPath(encoder.name, device, input_comm, compute, output_comm)
             )
         if self.parallel:
             paths = self._charge_same_device_serialization(paths)
-        head_compute = self.compute_seconds(request, head.name, head_device)
+        head_compute = compute_seconds(request, head.name, head_device)
         return LatencyBreakdown(
             request=request,
             routing=decision,
@@ -217,8 +283,32 @@ class LatencyModel:
 
     def total_latency(self, request: InferenceRequest, placement: Placement) -> float:
         """``t_total(y^q)`` for one request."""
-        return self.breakdown(request, placement).total
+        tensors = self.tensors
+        if tensors is not None:
+            return tensors.total_latency(request, placement)
+        return self.total_latency_scalar(request, placement)
+
+    def total_latency_scalar(self, request: InferenceRequest, placement: Placement) -> float:
+        """Reference scalar ``t_total``: Eq. 1-3 priced entirely through the
+        device/network oracles — no tensor-cache reads anywhere."""
+        return self._breakdown(
+            request,
+            placement,
+            self.route_scalar(request, placement),
+            self.compute_seconds_scalar,
+        ).total
 
     def objective(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
         """Problem (4a)'s objective: total latency over all requests."""
-        return sum(self.total_latency(request, placement) for request in requests)
+        tensors = self.tensors
+        if tensors is not None:
+            return tensors.objective(requests, placement)
+        return self.objective_scalar(requests, placement)
+
+    def objective_scalar(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Reference scalar objective: per-request loops, no tensor reads.
+
+        Kept (and exercised by the property tests) as the independent ground
+        truth the tensorized path must match bit-for-bit.
+        """
+        return sum(self.total_latency_scalar(request, placement) for request in requests)

@@ -10,6 +10,7 @@ placement's objective against the enumerated optimum.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -111,22 +112,26 @@ def run_optimality(
     network = Network()
     results = []
     for model_name, benchmark in combinations if combinations is not None else COMBINATIONS:
+        base = PlacementProblem.from_models([model_name], edge_device_names())
         for trial in range(trials):
             rng = rng_for("optimality", model_name, benchmark, trial)
-            base = PlacementProblem.from_models([model_name], edge_device_names())
             noise = {
                 (module.name, device.name): float(rng.lognormal(0.0, noise_sigma))
                 for module in base.modules
                 for device in base.devices
             }
-            problem = PlacementProblem.from_models(
-                [model_name], edge_device_names(), compute_noise=noise
-            )
+            # Same modules/devices/models as ``base``; only the noise draw
+            # changes per trial, so skip re-running the sharing planner.
+            problem = dataclasses.replace(base, compute_noise=noise)
             request = InferenceRequest.for_model(model_name, DEFAULT_REQUESTER)
             latency_model = LatencyModel(problem, network)
             greedy = greedy_placement(problem)
             greedy_objective = latency_model.objective([request], greedy)
-            _, optimal_objective = optimal_placement(problem, [request], network)
+            # The solver shares the scorer's cost tensors: one build prices
+            # the greedy candidate AND the whole branch-and-bound search.
+            _, optimal_objective = optimal_placement(
+                problem, [request], network, tensors=latency_model.tensors
+            )
             results.append(
                 OptimalityTrial(
                     model=model_name,

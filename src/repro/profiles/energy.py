@@ -109,6 +109,12 @@ def energy_aware_placement(
     small, constrained to at most ``latency_budget_factor`` times the greedy
     placement's latency — the battery-life optimization the paper defers to
     future work, made concrete.
+
+    Candidate scoring (both the latency-budget filter and the per-request
+    energy pricing) runs on the one :class:`LatencyModel` — and therefore on
+    one shared set of cost tensors
+    (:mod:`repro.core.placement.tensors`) — instead of re-deriving compute
+    and transfer times per candidate.
     """
     from repro.core.placement.optimal import enumerate_placements
 

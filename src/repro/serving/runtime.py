@@ -207,6 +207,10 @@ class ServingRuntime:
         self._controller = AdaptivePlacementController(
             self._cluster.network, expected_requests=self.adapt_expected_requests
         )
+        # Churn toggles between a handful of live pools; caching the problem
+        # per pool lets the controller's latency-model/tensor cache hit by
+        # object identity instead of rebuilding on every assessment.
+        self._problem_cache: Dict[Tuple[str, ...], PlacementProblem] = {}
         self._queues: Dict[Tuple[str, str], List[_Job]] = {}
         self._active_servers: Set[Tuple[str, str]] = set()
         self._nics = UplinkPool(self._sim)
@@ -517,11 +521,16 @@ class ServingRuntime:
         self._router.placement = placement
 
     def _problem_for(self, device_names: Sequence[str]) -> PlacementProblem:
-        return PlacementProblem(
-            modules=self._engine.problem.modules,
-            devices=tuple(self._cluster.devices[name].profile for name in device_names),
-            models=self._engine.problem.models,
-        )
+        key = tuple(device_names)
+        problem = self._problem_cache.get(key)
+        if problem is None:
+            problem = PlacementProblem(
+                modules=self._engine.problem.modules,
+                devices=tuple(self._cluster.devices[name].profile for name in device_names),
+                models=self._engine.problem.models,
+            )
+            self._problem_cache[key] = problem
+        return problem
 
     def _live_problem(self) -> PlacementProblem:
         return self._problem_for(

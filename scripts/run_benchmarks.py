@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Run the placement perf benchmarks and emit ``BENCH_placement.json``.
+"""Run the placement perf benchmarks; emit ``BENCH_placement.json`` and
+``BENCH_energy.json``.
 
 This is the repo's recorded perf trajectory: the instance-size sweep
-(scalar vs. tensorized objective, brute force vs. branch-and-bound) plus a
-serve-under-churn recovery run.  The checked-in ``BENCH_placement.json`` is
-regenerated with::
+(scalar vs. tensorized objective, brute force vs. branch-and-bound), a
+serve-under-churn recovery run, and the energy-placement sweep (energy
+branch-and-bound vs. brute force under a latency budget, see
+``docs/energy.md``).  The checked-in JSONs are regenerated with::
 
     python scripts/run_benchmarks.py
 
-and CI runs the trimmed ``--smoke`` variant on every push, uploading the
-JSON as an artifact so the trend is inspectable per commit.  See
+and CI runs the trimmed ``--smoke`` variant on every push (writing
+``BENCH_smoke.json`` / ``BENCH_energy_smoke.json``), uploading the JSONs as
+artifacts so the trend is inspectable per commit.  See
 ``docs/performance.md`` for the schema and how to read the numbers.
 """
 
@@ -27,6 +30,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 FULL_SWEEP = [(3, 4), (4, 5), (6, 8), (8, 16), (10, 24), (10, 32)]
 SMOKE_SWEEP = [(3, 4), (6, 8), (8, 16)]
+ENERGY_FULL_SWEEP = [(3, 4), (4, 5), (6, 8), (8, 16), (10, 32)]
+ENERGY_SMOKE_SWEEP = [(3, 4), (6, 8)]
 
 
 def bench_objective(n_modules: int, n_devices: int, repeats: int) -> dict:
@@ -115,6 +120,60 @@ def bench_solver(n_modules: int, n_devices: int) -> dict:
     return row
 
 
+def bench_energy_solver(n_modules: int, n_devices: int, budget_factor: float = 1.5) -> dict:
+    """Energy branch-and-bound vs brute force under a 1.5x latency budget."""
+    from repro.core.placement.bnb import BnBStats, energy_branch_and_bound
+    from repro.core.placement.greedy import greedy_placement
+    from repro.core.placement.optimal import MAX_ASSIGNMENTS, energy_optimal_placement
+    from repro.core.routing.latency import LatencyModel
+    from repro.experiments.scaling import synthetic_instance
+    from repro.profiles.energy import energy_objective
+
+    instance = synthetic_instance(n_modules, n_devices, seed=1, n_requests=4)
+    requests = list(instance.requests)
+    model = LatencyModel(instance.problem, instance.network)
+    greedy = greedy_placement(instance.problem)
+    greedy_latency = model.objective(requests, greedy)
+    greedy_joules = energy_objective(requests, greedy, model)
+    budget = budget_factor * greedy_latency
+
+    stats = BnBStats()
+    start = time.perf_counter()
+    placement, joules = energy_branch_and_bound(
+        instance.problem, requests, instance.network,
+        latency_budget=budget, tensors=model.tensors, stats=stats,
+    )
+    bnb_s = time.perf_counter() - start
+
+    row = {
+        "modules": n_modules,
+        "devices": n_devices,
+        "assignments": n_devices ** n_modules,
+        "budget_factor": budget_factor,
+        "greedy_joules": greedy_joules,
+        "greedy_latency_s": greedy_latency,
+        "bnb_s": round(bnb_s, 6),
+        "bnb_joules": joules,
+        "bnb_latency_s": model.objective(requests, placement),
+        "bnb_nodes": stats.nodes,
+        "bnb_leaves": stats.leaves,
+        "bnb_pruned": stats.pruned,
+        "energy_saving": round(1.0 - joules / greedy_joules, 6),
+    }
+    if n_devices ** n_modules <= min(MAX_ASSIGNMENTS, 300_000):
+        start = time.perf_counter()
+        brute_placement, brute_joules = energy_optimal_placement(
+            instance.problem, requests, instance.network,
+            latency_budget=budget, solver="brute", tensors=model.tensors,
+        )
+        row["brute_s"] = round(time.perf_counter() - start, 6)
+        row["brute_matches_bnb"] = (
+            brute_joules == joules
+            and brute_placement.as_dict() == placement.as_dict()
+        )
+    return row
+
+
 def bench_serving_churn(duration_s: float) -> dict:
     """Serve a Poisson trace through fail/recover churn; report recovery."""
     from repro.serving import ServingRuntime, SLOPolicy, WorkloadGenerator
@@ -166,9 +225,18 @@ def main() -> int:
         "for full runs, BENCH_smoke.json for --smoke so the checked-in "
         "full-sweep record is never clobbered by a trimmed run)",
     )
+    parser.add_argument(
+        "--energy-output", type=Path, default=None,
+        help="where to write the energy-placement JSON (default: "
+        "BENCH_energy.json for full runs, BENCH_energy_smoke.json for --smoke)",
+    )
     args = parser.parse_args()
     if args.output is None:
         args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
+    if args.energy_output is None:
+        args.energy_output = REPO_ROOT / (
+            "BENCH_energy_smoke.json" if args.smoke else "BENCH_energy.json"
+        )
 
     import numpy
 
@@ -197,6 +265,20 @@ def main() -> int:
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    energy_results = {
+        "benchmark": "energy-placement",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "solver_sweep": [],
+    }
+    for n_modules, n_devices in (ENERGY_SMOKE_SWEEP if args.smoke else ENERGY_FULL_SWEEP):
+        print(f"energy solver sweep {n_modules}x{n_devices} ...", flush=True)
+        energy_results["solver_sweep"].append(bench_energy_solver(n_modules, n_devices))
+    args.energy_output.write_text(json.dumps(energy_results, indent=2) + "\n")
+    print(f"wrote {args.energy_output}")
+
     failures = []
     for row in results["objective_sweep"]:
         if not row["bit_identical"]:
@@ -208,6 +290,13 @@ def main() -> int:
             failures.append(f"bnb worse than greedy at {row['modules']}x{row['devices']}")
     if not results["serving_churn"]["conservation_ok"]:
         failures.append("serving conservation violated")
+    for row in energy_results["solver_sweep"]:
+        if row.get("brute_matches_bnb") is False:
+            failures.append(f"energy solver mismatch at {row['modules']}x{row['devices']}")
+        if row["bnb_joules"] > row["greedy_joules"] + 1e-12:
+            failures.append(f"energy bnb worse than greedy at {row['modules']}x{row['devices']}")
+        if row["bnb_latency_s"] > row["budget_factor"] * row["greedy_latency_s"] + 1e-12:
+            failures.append(f"energy bnb over budget at {row['modules']}x{row['devices']}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

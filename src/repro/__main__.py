@@ -85,6 +85,12 @@ def _extensions() -> str:
     return render_extensions()
 
 
+def _energy() -> str:
+    from repro.experiments.energy import render_energy
+
+    return render_energy()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table6": _table6,
     "table7": _table7,
@@ -97,6 +103,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "batching": _batching,
     "ablations": _ablations,
     "extensions": _extensions,
+    "energy": _energy,
 }
 
 
@@ -150,6 +157,9 @@ def serve_main(argv=None) -> int:
                         help="micro-batcher chunk cap (default: 8)")
     parser.add_argument("--batch-window", type=non_negative, default=0.0,
                         help="micro-batch accumulation window in seconds (default: 0)")
+    parser.add_argument("--energy", action="store_true",
+                        help="append the per-device energy ledger (active/idle/radio "
+                        "joules, joules per request) to the report")
     args = parser.parse_args(argv)
 
     from repro.core.catalog import MODEL_CATALOG
@@ -188,7 +198,7 @@ def serve_main(argv=None) -> int:
         seed=args.seed,
     )
     report = runtime.run(trace, churn)
-    print(report.render())
+    print(report.render(show_energy=args.energy))
     return 0
 
 

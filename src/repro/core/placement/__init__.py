@@ -5,20 +5,27 @@
 - :mod:`repro.core.placement.greedy` — Algorithm 1's greedy placement.
 - :mod:`repro.core.placement.optimal` — exact optimum (the paper's
   "Upper" baseline): brute force at paper scale, dispatching to
-  branch-and-bound by default.
-- :mod:`repro.core.placement.bnb` — the branch-and-bound search itself
-  (identical result, prunes far past brute force's size cap).
-- :mod:`repro.core.placement.tensors` — precomputed cost tensors shared by
-  every solver and the serving hot path (see ``docs/performance.md``).
+  branch-and-bound by default; plus the energy-under-latency-budget
+  counterpart (``energy_optimal_placement``, see ``docs/energy.md``).
+- :mod:`repro.core.placement.bnb` — the branch-and-bound searches
+  themselves (identical results, prune far past brute force's size cap).
+- :mod:`repro.core.placement.tensors` — precomputed cost and energy
+  tensors shared by every solver and the serving hot path (see
+  ``docs/performance.md``).
 - :mod:`repro.core.placement.variants` — ablation orderings.
 - :mod:`repro.core.placement.validation` — feasibility checks (Eq. 4d/4e).
 """
 
 from repro.core.placement.problem import Placement, PlacementProblem
 from repro.core.placement.greedy import greedy_placement, replicate_with_leftover
-from repro.core.placement.optimal import optimal_placement
-from repro.core.placement.bnb import branch_and_bound_placement
-from repro.core.placement.tensors import CostTensors, IncrementalObjective
+from repro.core.placement.optimal import energy_optimal_placement, optimal_placement
+from repro.core.placement.bnb import branch_and_bound_placement, energy_branch_and_bound
+from repro.core.placement.tensors import (
+    CostTensors,
+    EnergyTensors,
+    IncrementalEnergy,
+    IncrementalObjective,
+)
 from repro.core.placement.validation import check_placement
 from repro.core.placement.variants import (
     ascending_memory_placement,
@@ -32,8 +39,12 @@ __all__ = [
     "greedy_placement",
     "replicate_with_leftover",
     "optimal_placement",
+    "energy_optimal_placement",
     "branch_and_bound_placement",
+    "energy_branch_and_bound",
     "CostTensors",
+    "EnergyTensors",
+    "IncrementalEnergy",
     "IncrementalObjective",
     "check_placement",
     "ascending_memory_placement",

@@ -34,6 +34,14 @@ equal-objective plateaus (moving a non-bottleneck encoder changes nothing):
    sorted name, devices by sorted name), pruning ``bound > V``, stopping at
    the **first** leaf whose objective equals ``V`` — by construction the
    lexicographically-smallest optimal assignment, i.e. brute force's pick.
+
+The module also hosts :func:`energy_branch_and_bound` — the **energy**
+counterpart (paper Sec. VII): minimum total joules subject to the latency
+objective staying within a budget.  Energy is additive (no max-plateaus),
+so it runs a single phase: a budget-constrained energy-descent incumbent,
+strict ``bound > best`` pruning with the lexicographic tie-key compared at
+leaves, and the latency budget enforced through the same admissible
+latency bounds — again bit-identical to brute-force enumeration.
 """
 
 from __future__ import annotations
@@ -46,7 +54,15 @@ import numpy as np
 from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
 from repro.core.placement.problem import Placement, PlacementProblem
-from repro.core.placement.tensors import CostTensors, RequestGroup, _lpt_waits
+from repro.core.placement.tensors import (
+    CostTensors,
+    EnergyRequestGroup,
+    EnergyTensors,
+    IncrementalEnergy,
+    IncrementalObjective,
+    RequestGroup,
+    _lpt_waits,
+)
 from repro.utils.errors import PlacementError
 
 
@@ -583,3 +599,468 @@ def branch_and_bound_placement(
         }
     )
     return placement, best_value
+
+
+# ======================================================================
+# Energy-under-latency-budget branch-and-bound (paper Sec. VII made real)
+# ======================================================================
+
+class _EnergyGroupBound:
+    """Admissible per-(model, source) *energy* bounds under partial assignment.
+
+    Energy is additive — per encoder path ``(compute + input radio) +
+    embedding radio``, plus the head's joules — so the bound is the latency
+    bound's structure without Eq. 2's max, LPT waits, or contention terms.
+    Every term is a min over the same precomputed floats the exact total
+    uses, accumulated in the exact total's operation order; IEEE-754
+    addition and min are monotonic, so the bound never exceeds the true
+    joules of any completion, and it **equals** them once every member
+    module is assigned.
+    """
+
+    def __init__(self, energy: EnergyTensors, group: EnergyRequestGroup) -> None:
+        tensors = energy.tensors
+        self.group = group
+        self.encoder_idx = group.encoder_idx
+        self.head_idx = group.head_idx
+        self.members = tuple(set(group.encoder_idx) | {group.head_idx})
+        head_fit = tensors.fits[group.head_idx]
+        if not head_fit.any():
+            raise PlacementError(
+                f"module {group.head_name!r} fits on no device; "
+                "apply compression or intra-module partitioning first (paper Sec. V-B)"
+            )
+        self.head_joules = group.head_joules
+        self.head_min = float(np.min(group.head_joules[head_fit]))
+        # Per encoder path e (arrays over the device axis), mirroring the
+        # latency _GroupBound with A[e] = compute + input radio:
+        self.enc_assigned: List[np.ndarray] = []
+        self.head_assigned: List[np.ndarray] = []
+        self.free: List[float] = []
+        for e, idx in enumerate(group.encoder_idx):
+            fit = tensors.fits[idx]
+            if not fit.any():
+                raise PlacementError(
+                    f"module {group.encoder_names[e]!r} fits on no device; "
+                    "apply compression or intra-module partitioning first (paper Sec. V-B)"
+                )
+            A = group.A[e]
+            out = group.out[e]
+            out_min = np.min(out[:, head_fit], axis=1)
+            masked = np.where(fit[:, None], A[:, None] + out, np.inf)
+            self.enc_assigned.append(A + out_min)
+            self.head_assigned.append(np.min(masked, axis=0))
+            self.free.append(float(np.min(self.enc_assigned[e][fit])))
+
+    def lower_bound(self, assign: np.ndarray) -> float:
+        """Scalar joule bound for the current partial assignment (exact —
+        equal to the group's true joules — once every member is assigned)."""
+        if all(assign[i] >= 0 for i in self.members):
+            return float(self.group.total_for_assignment(assign))
+        group = self.group
+        nh = int(assign[self.head_idx])
+        total = 0.0
+        for e, idx in enumerate(self.encoder_idx):
+            ne = int(assign[idx])
+            if ne >= 0:
+                if nh >= 0:
+                    term = group.A[e][ne] + group.out[e][ne, nh]
+                else:
+                    term = self.enc_assigned[e][ne]
+            elif nh >= 0:
+                term = self.head_assigned[e][nh]
+            else:
+                term = self.free[e]
+            total = total + term
+        total = total + (self.head_joules[nh] if nh >= 0 else self.head_min)
+        return float(total)
+
+    def bound_vector(self, assign: np.ndarray, module_index: int) -> np.ndarray:
+        """Joule bound per candidate device if ``module_index`` were placed
+        there; exact (true group joules) when placing it completes the group."""
+        group = self.group
+        nh = int(assign[self.head_idx])
+        head_here = module_index == self.head_idx
+        total: object = 0.0
+        for e, idx in enumerate(self.encoder_idx):
+            ne = int(assign[idx])
+            if idx == module_index:
+                if head_here:
+                    # Module doubles as the head: both endpoints co-locate.
+                    term: object = group.A[e] + np.diagonal(group.out[e])
+                elif nh >= 0:
+                    term = group.A[e] + group.out[e][:, nh]
+                else:
+                    term = self.enc_assigned[e]
+            elif head_here:
+                if ne >= 0:
+                    term = group.A[e][ne] + group.out[e][ne, :]
+                else:
+                    term = self.head_assigned[e]
+            else:
+                if ne >= 0:
+                    if nh >= 0:
+                        term = group.A[e][ne] + group.out[e][ne, nh]
+                    else:
+                        term = self.enc_assigned[e][ne]
+                elif nh >= 0:
+                    term = self.head_assigned[e][nh]
+                else:
+                    term = self.free[e]
+            total = total + term
+        head = self.head_joules if head_here else (
+            self.head_joules[nh] if nh >= 0 else self.head_min
+        )
+        return np.broadcast_to(
+            np.asarray(total + head, dtype=np.float64), self.head_joules.shape
+        ).copy()
+
+
+class _EnergySearch:
+    """Shared state for both phases of the energy branch-and-bound.
+
+    Tracks **two** admissible bound families per request class — joules
+    (the objective being minimized) and latency (the Eq. 4a budget
+    constraint, via the latency :class:`_GroupBound`) — both fanned out in
+    request order so leaf values are bit-identical to the scalar oracles.
+    """
+
+    def __init__(
+        self,
+        tensors: CostTensors,
+        energy: EnergyTensors,
+        requests: Sequence[InferenceRequest],
+        stats: BnBStats,
+    ) -> None:
+        self.tensors = tensors
+        self.energy = energy
+        self.stats = stats
+        self.n_modules = tensors.n_modules
+        self.n_devices = tensors.n_devices
+        self.memory = [int(b) for b in tensors.memory]
+        self.residual = [int(b) for b in tensors.capacity]
+        self.assign = np.full(self.n_modules, -1, dtype=np.int64)
+
+        self.lat_groups: List[RequestGroup] = []
+        self.en_groups: List[EnergyRequestGroup] = []
+        self.lat_bounds: List[_GroupBound] = []
+        self.en_bounds: List[_EnergyGroupBound] = []
+        self.group_of_request: List[int] = []
+        index_of: Dict[Tuple[int, str], int] = {}
+        for request in requests:
+            key = (id(request.model), request.source)
+            if key not in index_of:
+                index_of[key] = len(self.lat_groups)
+                lat_group = tensors.group(request.model, request.source)
+                en_group = energy.group(request.model, request.source)
+                self.lat_groups.append(lat_group)
+                self.en_groups.append(en_group)
+                self.lat_bounds.append(_GroupBound(tensors, lat_group))
+                self.en_bounds.append(_EnergyGroupBound(energy, en_group))
+            self.group_of_request.append(index_of[key])
+        self.groups_using: List[List[int]] = [[] for _ in range(self.n_modules)]
+        for g, group in enumerate(self.en_groups):
+            for idx in set(group.encoder_idx) | {group.head_idx}:
+                self.groups_using[idx].append(g)
+        self.lat_lb = [bound.lower_bound(self.assign) for bound in self.lat_bounds]
+        self.en_lb = [bound.lower_bound(self.assign) for bound in self.en_bounds]
+
+    # ------------------------------------------------------------------
+    def leaf_energy(self) -> float:
+        """Exact joules of the full assignment (request-order summation,
+        bit-identical to ``EnergyTensors.objective`` on the same placement)."""
+        total = 0.0
+        cache: List[Optional[float]] = [None] * len(self.en_groups)
+        for g in self.group_of_request:
+            value = cache[g]
+            if value is None:
+                value = self.en_groups[g].total_for_assignment(self.assign)
+                cache[g] = value
+            total = total + value
+        return float(total)
+
+    def node_energy_bounds(self, m: int) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+        """Per-device total *energy* bound if module ``m`` went to each device.
+
+        Latency is deliberately not vectorized here: its bound (with the
+        per-candidate contention tightening) costs an order of magnitude
+        more than the additive energy bound, and the energy prune discards
+        most candidates first — the survivors get a scalar latency check in
+        :meth:`latency_after` instead.
+        """
+        affected = self.groups_using[m]
+        en_per_group: Dict[int, np.ndarray] = {
+            g: self.en_bounds[g].bound_vector(self.assign, m) for g in affected
+        }
+        en_total = np.zeros(self.n_devices, dtype=np.float64)
+        for g in self.group_of_request:
+            en_total = en_total + (en_per_group[g] if g in en_per_group else self.en_lb[g])
+        return en_total, en_per_group
+
+    def descend(
+        self, m: int, n: int, en_per_group: Dict[int, np.ndarray]
+    ) -> List[Tuple[int, float]]:
+        self.assign[m] = n
+        self.residual[n] -= self.memory[m]
+        saved = [(g, self.en_lb[g]) for g in en_per_group]
+        for g, vector in en_per_group.items():
+            self.en_lb[g] = float(vector[n])
+        return saved
+
+    def latency_after(self, m: int) -> Tuple[List[Tuple[int, float]], float]:
+        """Refresh the latency bounds of the groups using ``m`` (which
+        :meth:`descend` just placed) and return (undo list, fanned total).
+
+        ``_GroupBound.lower_bound`` on the updated assignment is admissible
+        at interior nodes and **exact** once a group is complete, so at a
+        leaf the fanned total is the true latency objective, bit-identical
+        to ``CostTensors.objective``.
+        """
+        saved = []
+        for g in self.groups_using[m]:
+            saved.append((g, self.lat_lb[g]))
+            self.lat_lb[g] = self.lat_bounds[g].lower_bound(self.assign)
+        total = 0.0
+        for g in self.group_of_request:
+            total = total + self.lat_lb[g]
+        return saved, float(total)
+
+    def restore_latency(self, saved: List[Tuple[int, float]]) -> None:
+        for g, value in saved:
+            self.lat_lb[g] = value
+
+    def ascend(self, m: int, n: int, saved: List[Tuple[int, float]]) -> None:
+        for g, en_value in saved:
+            self.en_lb[g] = en_value
+        self.residual[n] += self.memory[m]
+        self.assign[m] = -1
+
+
+def _any_memory_feasible(search: "_EnergySearch") -> bool:
+    """Whether any assignment satisfies the memory constraints alone.
+
+    First-fit backtracking over modules by descending memory — only called
+    when the bounded search found no leaf, to decide between the
+    ``(None, inf)`` over-budget result and the memory-infeasibility error.
+    """
+    order = sorted(range(search.n_modules), key=lambda m: -search.memory[m])
+    residual = list(search.residual)
+
+    def fit(depth: int) -> bool:
+        if depth == len(order):
+            return True
+        need = search.memory[order[depth]]
+        for n in range(search.n_devices):
+            if residual[n] >= need:
+                residual[n] -= need
+                if fit(depth + 1):
+                    return True
+                residual[n] += need
+        return False
+
+    return fit(0)
+
+
+def _energy_incumbent(
+    tensors: CostTensors,
+    energy: EnergyTensors,
+    requests: Sequence[InferenceRequest],
+    latency_budget: float,
+) -> Optional[np.ndarray]:
+    """A strong attained incumbent: greedy Algorithm 1, then a steepest
+    energy descent over single-module moves that keep the latency objective
+    within budget (both trackers are the bit-identical incremental APIs, so
+    the incumbent's joules are directly comparable to leaf values).
+
+    Returns ``None`` when greedy itself is infeasible or over budget — the
+    search then runs incumbent-less and discovers feasibility on its own.
+    """
+    try:
+        from repro.core.placement.greedy import greedy_placement
+
+        seed = greedy_placement(tensors.problem)
+    except PlacementError:
+        return None
+    latency = IncrementalObjective(tensors, requests, seed)
+    if latency.objective > latency_budget:
+        return None
+    joules = IncrementalEnergy(energy, requests, seed)
+    residual = [int(b) for b in tensors.capacity]
+    for m in range(tensors.n_modules):
+        residual[int(joules.assign[m])] -= int(tensors.memory[m])
+    names = tensors.device_names
+    for _ in range(32):  # steepest descent; passes bounded for safety
+        improved = False
+        for m in range(tensors.n_modules):
+            module_name = tensors.module_names[m]
+            current = int(joules.assign[m])
+            best_n, best_joules = current, joules.joules
+            for n in range(tensors.n_devices):
+                if n == current or residual[n] < int(tensors.memory[m]):
+                    continue
+                moved = joules.move(module_name, names[n])
+                if moved < best_joules and (
+                    latency.move(module_name, names[n]) <= latency_budget
+                ):
+                    best_n, best_joules = n, moved
+            joules.move(module_name, names[best_n])
+            latency.move(module_name, names[best_n])
+            if best_n != current:
+                residual[current] += int(tensors.memory[m])
+                residual[best_n] -= int(tensors.memory[m])
+                improved = True
+        if not improved:
+            break
+    return joules.assign.copy()
+
+
+def energy_branch_and_bound(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    latency_budget: float = float("inf"),
+    parallel: bool = True,
+    tensors: Optional[CostTensors] = None,
+    energy: Optional[EnergyTensors] = None,
+    stats: Optional[BnBStats] = None,
+) -> Tuple[Optional[Placement], float]:
+    """The minimum-energy single-copy placement within a latency budget.
+
+    Minimizes total joules (:mod:`repro.profiles.energy` semantics) subject
+    to the latency objective (Problem 4a) not exceeding ``latency_budget``
+    — identical result (same argmin, same joules, same tie-break toward the
+    lexicographically smallest assignment) as brute-force enumeration with
+    a budget filter, verified property-style in ``tests/test_energy.py``.
+
+    Returns ``(None, inf)`` when memory-feasible placements exist but none
+    meets the budget (the budget is inclusive: ``latency == budget`` is
+    feasible); raises :class:`PlacementError` when no memory-feasible
+    placement exists at all — the same contract as the brute oracle.
+    """
+    if not requests:
+        raise PlacementError("energy-optimal placement needs at least one request to score")
+    net = network if network is not None else Network()
+    if net.has_jitter:
+        raise PlacementError(
+            "energy branch-and-bound prices through cached cost tensors, "
+            "which would freeze the network's jitter hook; clear the jitter "
+            "or use energy_optimal_placement(..., solver='brute')"
+        )
+    if tensors is None:
+        tensors = CostTensors(problem, net, parallel=parallel)
+    else:
+        tensors.check_compatible(problem, net, parallel)
+    if energy is None:
+        energy = EnergyTensors(tensors)
+    elif energy.tensors is not tensors:
+        raise PlacementError(
+            "shared energy tensors were built on a different cost-tensor "
+            "cache; pass the matching tensors= they were built with"
+        )
+    stats = stats if stats is not None else BnBStats()
+    search = _EnergySearch(tensors, energy, requests, stats)
+
+    # ------------------------------------------------------------------
+    # Branching order: heads first (they pin every path's embedding
+    # endpoint, tightening all bounds at once), then encoders by descending
+    # best-case path joules; modules no request uses go last.
+    # ------------------------------------------------------------------
+    head_modules = {g.head_idx for g in search.en_groups}
+    criticality = [0.0] * search.n_modules
+    for bound in search.en_bounds:
+        for e, idx in enumerate(bound.encoder_idx):
+            criticality[idx] = max(criticality[idx], bound.free[e])
+
+    def value_order_key(m: int) -> Tuple[int, int, float, int, str]:
+        unused = 0 if search.groups_using[m] else 1
+        is_head = 0 if m in head_modules else 1
+        return (unused, is_head, -criticality[m], -search.memory[m], tensors.module_names[m])
+
+    value_order = sorted(range(search.n_modules), key=value_order_key)
+
+    def tie_key(assign: np.ndarray) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """Brute force's deterministic tie-break key for a full assignment."""
+        return tuple(
+            sorted(
+                (tensors.module_names[m], (tensors.device_names[int(assign[m])],))
+                for m in range(search.n_modules)
+            )
+        )
+
+    # Incumbent: greedy Algorithm 1 (budget-feasible whenever the budget is
+    # a >= 1 multiple of greedy's own latency, as energy_aware_placement
+    # builds it), improved by a budget-constrained energy descent.  A tight
+    # attained incumbent is what keeps the frontier small: the search only
+    # has to certify optimality, not discover it.
+    best_energy = float("inf")
+    best_key: Optional[Tuple] = None
+    best_assign: Optional[np.ndarray] = None
+    seed_assign = _energy_incumbent(tensors, energy, requests, latency_budget)
+    if seed_assign is not None:
+        search.assign[:] = seed_assign
+        best_energy = search.leaf_energy()
+        best_key = tie_key(search.assign)
+        best_assign = search.assign.copy()
+        search.assign[:] = -1
+
+    # ------------------------------------------------------------------
+    # Single-phase DFS.  Pruning is ``energy bound > best`` (strictly:
+    # equal-bound subtrees may still hold an equal-joule leaf with a
+    # smaller tie-key) and ``latency bound > budget``; at a leaf both
+    # bounds are exact, so the incumbent update compares the true
+    # (joules, tie-key) pair exactly as brute force's argmin does.
+    # Energy is additive, so exact-tie plateaus are rare and the strict
+    # prune stays sharp (unlike Eq. 2's max-plateaus in the latency search).
+    # ------------------------------------------------------------------
+    def dfs(depth: int) -> None:
+        nonlocal best_energy, best_key, best_assign
+        stats.nodes += 1
+        m = value_order[depth]
+        en_bound, en_pg = search.node_energy_bounds(m)
+        candidates = [
+            n for n in range(search.n_devices)
+            if search.residual[n] >= search.memory[m]
+        ]
+        candidates.sort(key=lambda n: en_bound[n])
+        for n in candidates:
+            if en_bound[n] > best_energy:
+                stats.pruned += 1
+                continue
+            saved = search.descend(m, n, en_pg)
+            lat_saved, lat_total = search.latency_after(m)
+            if lat_total > latency_budget:
+                stats.pruned += 1
+            elif depth + 1 == search.n_modules:
+                stats.leaves += 1
+                # Bounds are exact at leaves: en_bound[n] is the true total
+                # joules, lat_total the true latency (already <= budget).
+                leaf = float(en_bound[n])
+                if leaf < best_energy:
+                    best_energy = leaf
+                    best_key = tie_key(search.assign)
+                    best_assign = search.assign.copy()
+                elif leaf == best_energy:
+                    key = tie_key(search.assign)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_assign = search.assign.copy()
+            else:
+                dfs(depth + 1)
+            search.restore_latency(lat_saved)
+            search.ascend(m, n, saved)
+
+    dfs(0)
+    if best_assign is None:
+        # Distinguish "over budget" from "memory-infeasible outright" so
+        # both solvers keep the same contract: the brute oracle raises when
+        # enumeration yields nothing at all.
+        if not _any_memory_feasible(search):
+            raise PlacementError("no memory-feasible placement exists for this instance")
+        return None, float("inf")
+    placement = Placement(
+        {
+            tensors.module_names[m]: (tensors.device_names[int(best_assign[m])],)
+            for m in range(search.n_modules)
+        }
+    )
+    return placement, best_energy

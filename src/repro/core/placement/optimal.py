@@ -124,3 +124,70 @@ def optimal_placement(
     if not found_any or best is None:
         raise PlacementError("no memory-feasible placement exists for this instance")
     return best[2], best[0]
+
+
+def energy_optimal_placement(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    latency_budget: Optional[float] = None,
+    parallel: bool = True,
+    solver: str = "auto",
+    tensors=None,
+) -> Tuple[Optional[Placement], float]:
+    """The minimum-energy placement within a latency budget, and its joules.
+
+    The energy counterpart of :func:`optimal_placement`: minimizes the
+    total joules of :func:`repro.profiles.energy.energy_objective` over all
+    memory-feasible single-copy placements whose latency objective does not
+    exceed ``latency_budget`` (``None`` means unconstrained; the budget is
+    inclusive).  Ties break toward the lexicographically-smallest
+    assignment under every ``solver`` (``"auto"``/``"bnb"`` run the energy
+    branch-and-bound in :mod:`repro.core.placement.bnb`, ``"brute"`` the
+    exhaustive sweep; results are identical, brute force just caps out at
+    :data:`MAX_ASSIGNMENTS`).  Returns ``(None, inf)`` when memory-feasible
+    placements exist but none meets the budget; raises
+    :class:`PlacementError` (under every solver) when no memory-feasible
+    placement exists at all.  ``solver="auto"`` dispatches jittered
+    networks to brute force, whose scalar pricing honors the jitter hook.
+    """
+    if solver not in SOLVERS:
+        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+    if not requests:
+        raise PlacementError("energy-optimal placement needs at least one request to score")
+    budget = float("inf") if latency_budget is None else float(latency_budget)
+    if solver == "auto" and network is not None and network.has_jitter:
+        solver = "brute"
+    if solver in ("auto", "bnb"):
+        from repro.core.placement.bnb import energy_branch_and_bound
+
+        return energy_branch_and_bound(
+            problem,
+            requests,
+            network=network,
+            latency_budget=budget,
+            parallel=parallel,
+            tensors=tensors,
+        )
+    # Imported lazily: repro.profiles.energy imports this package at module
+    # load, so a top-level import would cycle.
+    from repro.core.routing.latency import LatencyModel
+    from repro.profiles.energy import energy_objective
+
+    net = network if network is not None else Network()
+    model = LatencyModel(problem, net, parallel=parallel, tensors=tensors)
+    best: Optional[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...], Placement]] = None
+    found_any = False
+    for placement in enumerate_placements(problem):
+        found_any = True
+        if model.objective(requests, placement) > budget:
+            continue
+        joules = energy_objective(requests, placement, model)
+        key = (joules, tuple(sorted(placement.as_dict().items())), placement)
+        if best is None or key[:2] < best[:2]:
+            best = key
+    if not found_any:
+        raise PlacementError("no memory-feasible placement exists for this instance")
+    if best is None:
+        return None, float("inf")
+    return best[2], best[0]

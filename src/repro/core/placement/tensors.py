@@ -341,6 +341,191 @@ class CostTensors:
         return float(total)
 
 
+class EnergyRequestGroup:
+    """Cached energy-pricing arrays for one (model, source) request class.
+
+    Mirrors :class:`RequestGroup` for the energy objective: per-encoder
+    compute-joule rows, input-radio vectors, and ``[N, N]`` embedding-radio
+    matrices, combined in the same float-operation order as the scalar
+    :func:`repro.profiles.energy.request_energy_joules` — per encoder path
+    ``(compute + input radio) + embedding radio``, then the head's joules —
+    so tensorized energy is **bit-identical** to the scalar reference.
+    """
+
+    __slots__ = (
+        "model", "source", "encoder_names", "head_name",
+        "encoder_idx", "head_idx", "enc_joules", "head_joules",
+        "A", "out",
+    )
+
+    def __init__(self, energy: "EnergyTensors", model: ModelSpec, source: str) -> None:
+        tensors = energy.tensors
+        self.model = model
+        self.source = source
+        self.encoder_names: Tuple[str, ...] = model.encoders
+        self.head_name: str = model.head
+        self.encoder_idx = [tensors.module_idx(name) for name in model.encoders]
+        self.head_idx = tensors.module_idx(model.head)
+        comp = energy.compute_joules(model)
+        self.enc_joules = [comp[i] for i in self.encoder_idx]
+        self.head_joules = comp[self.head_idx]
+        #: ``A[e][ne]`` — compute + input-radio joules with encoder ``e`` on
+        #: device ``ne`` (the per-path prefix of the scalar accumulation).
+        self.A: List[np.ndarray] = []
+        self.out: List[np.ndarray] = []
+        for pos, idx in enumerate(self.encoder_idx):
+            module = tensors.modules[idx]
+            modality = module.modality or "image"
+            payload = model.payload_bytes(modality)
+            self.A.append(self.enc_joules[pos] + energy.input_radio(source, payload))
+            self.out.append(energy.embed_radio(idx))
+
+    def total(self, enc_hosts: Sequence[int], head_host: int) -> float:
+        """Request joules with encoders on ``enc_hosts`` and the head on
+        ``head_host`` (device indices) — bit-identical to the scalar path."""
+        total = 0.0
+        for e, ne in enumerate(enc_hosts):
+            total = total + (self.A[e][ne] + self.out[e][ne, head_host])
+        total = total + self.head_joules[head_host]
+        return float(total)
+
+    def total_for_assignment(self, assign: Sequence[int]) -> float:
+        """Joules when module ``m`` sits on device ``assign[m]`` (single copy)."""
+        return self.total(
+            [assign[i] for i in self.encoder_idx], assign[self.head_idx]
+        )
+
+
+class EnergyTensors:
+    """Per-problem energy cost arrays, layered on a :class:`CostTensors`.
+
+    Every entry comes from the scalar oracles in
+    :mod:`repro.profiles.energy` (``EnergyProfile.compute_joules`` /
+    ``transfer_joules`` and the co-location rule of ``hop_radio_joules``),
+    so tensorized joules are bit-identical to the scalar reference path:
+
+    - ``compute_joules(model)[m, n]`` — active joules of module ``m`` on
+      device ``n`` (active watts x noise-scaled compute seconds);
+    - ``input_radio(source, payload)[n]`` — sender + receiver radio joules
+      of the modality input hop, **zero where device ``n`` is the source**;
+    - ``embed_radio(m)[n_e, n_h]`` — sender + receiver radio joules of the
+      embedding hop for encoder ``m``, zero on the diagonal.
+
+    Unknown device names (synthetic scaling instances) resolve through
+    :func:`repro.profiles.energy.resolve_energy_profile`, which derives a
+    deterministic profile from the name; pass ``profiles=`` to override.
+    """
+
+    def __init__(
+        self,
+        tensors: CostTensors,
+        profiles: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.tensors = tensors
+        self._profiles = dict(profiles) if profiles is not None else None
+        self.active_watts = np.array(
+            [self.profile_of(name).active_watts for name in tensors.device_names],
+            dtype=np.float64,
+        )
+        self.idle_watts = np.array(
+            [self.profile_of(name).idle_watts for name in tensors.device_names],
+            dtype=np.float64,
+        )
+        self._compute_joules: Dict[int, Tuple[ModelSpec, np.ndarray]] = {}
+        self._input_radio: Dict[Tuple[str, int], np.ndarray] = {}
+        self._embed_radio: Dict[int, np.ndarray] = {}
+        self._groups: Dict[Tuple[int, str], EnergyRequestGroup] = {}
+
+    def profile_of(self, name: str):
+        """The device's :class:`~repro.profiles.energy.EnergyProfile`."""
+        if self._profiles is not None and name in self._profiles:
+            return self._profiles[name]
+        from repro.profiles.energy import resolve_energy_profile
+
+        return resolve_energy_profile(name)
+
+    # ------------------------------------------------------------------
+    # Tensor builders (lazy; every entry comes from the scalar oracles)
+    # ------------------------------------------------------------------
+    def compute_joules(self, model: ModelSpec) -> np.ndarray:
+        """``joules[m, n]`` — active-power compute energy under ``model``."""
+        hit = self._compute_joules.get(id(model))
+        if hit is not None:
+            return hit[1]
+        arr = self.tensors.model_compute(model) * self.active_watts[None, :]
+        self._compute_joules[id(model)] = (model, arr)
+        return arr
+
+    def input_radio(self, source: str, payload_bytes: int) -> np.ndarray:
+        """Radio joules of a ``payload_bytes`` input hop from ``source`` to
+        each device (zero where the device *is* the source)."""
+        key = (source, payload_bytes)
+        arr = self._input_radio.get(key)
+        if arr is None:
+            from repro.profiles.energy import hop_radio_joules
+
+            arr = np.array(
+                [
+                    hop_radio_joules(source, name, payload_bytes)
+                    for name in self.tensors.device_names
+                ],
+                dtype=np.float64,
+            )
+            self._input_radio[key] = arr
+        return arr
+
+    def embed_radio(self, module_index: int) -> np.ndarray:
+        """Embedding-hop radio joules ``[encoder host, head host]`` for one
+        module (zero on the diagonal — co-located hops are free)."""
+        arr = self._embed_radio.get(module_index)
+        if arr is None:
+            from repro.profiles.energy import hop_radio_joules
+
+            payload = self.tensors.modules[module_index].output_bytes
+            names = self.tensors.device_names
+            arr = np.array(
+                [[hop_radio_joules(a, b, payload) for b in names] for a in names],
+                dtype=np.float64,
+            )
+            self._embed_radio[module_index] = arr
+        return arr
+
+    def group(self, model: ModelSpec, source: str) -> EnergyRequestGroup:
+        key = (id(model), source)
+        group = self._groups.get(key)
+        if group is None:
+            group = EnergyRequestGroup(self, model, source)
+            self._groups[key] = group
+        return group
+
+    # ------------------------------------------------------------------
+    # Objective (bit-identical to the scalar energy_objective)
+    # ------------------------------------------------------------------
+    def request_energy(self, request: InferenceRequest, placement: Placement) -> float:
+        """Single-request joules under fastest-host routing (Eq. 7)."""
+        hosts = self.tensors.route_hosts(request, placement)
+        group = self.group(request.model, request.source)
+        enc_hosts = [self.tensors.device_idx(hosts[name]) for name in group.encoder_names]
+        return group.total(enc_hosts, self.tensors.device_idx(hosts[group.head_name]))
+
+    def objective(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Total joules over a request set, summed in request order.
+
+        Per-(model, source) classes are priced once and fanned out in
+        request order, so the float result matches the scalar ``sum``.
+        """
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                value = self.request_energy(request, placement)
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+
 class IncrementalObjective:
     """Objective tracking with O(affected groups) single-module moves.
 
@@ -406,6 +591,86 @@ class IncrementalObjective:
         m = self.tensors.module_idx(module_name)
         before_device = int(self.assign[m])
         before = self.objective
+        after = self.move(module_name, device_name)
+        self.move(module_name, self.tensors.device_names[before_device])
+        return after - before
+
+    def placement(self) -> Placement:
+        """The current assignment as a :class:`Placement`."""
+        names = self.tensors.device_names
+        return Placement(
+            {
+                self.tensors.module_names[m]: (names[int(self.assign[m])],)
+                for m in range(self.tensors.n_modules)
+            }
+        )
+
+
+class IncrementalEnergy:
+    """Energy tracking with O(affected groups) single-module moves.
+
+    The energy counterpart of :class:`IncrementalObjective`: holds a
+    single-copy assignment plus per-request-class joules; :meth:`move`
+    re-prices only the classes whose model uses the moved module and
+    replays the request-order summation, so the returned total is
+    bit-identical to ``EnergyTensors.objective(requests, placement)`` on
+    the same assignment.
+    """
+
+    def __init__(
+        self,
+        energy: EnergyTensors,
+        requests: Sequence[InferenceRequest],
+        placement: Placement,
+    ) -> None:
+        self.energy = energy
+        self.tensors = energy.tensors
+        self.requests = list(requests)
+        self.assign = np.empty(self.tensors.n_modules, dtype=np.int64)
+        for name, hosts in placement.as_dict().items():
+            if len(hosts) != 1:
+                raise ConfigurationError(
+                    "IncrementalEnergy requires a single-copy placement; "
+                    f"module {name!r} has hosts {hosts}"
+                )
+            self.assign[self.tensors.module_idx(name)] = self.tensors.device_idx(hosts[0])
+        self._groups: List[EnergyRequestGroup] = []
+        self._group_of: List[int] = []
+        index_of: Dict[Tuple[int, str], int] = {}
+        for request in self.requests:
+            key = (id(request.model), request.source)
+            if key not in index_of:
+                index_of[key] = len(self._groups)
+                self._groups.append(energy.group(request.model, request.source))
+            self._group_of.append(index_of[key])
+        self._uses: List[List[int]] = [[] for _ in range(self.tensors.n_modules)]
+        for g, group in enumerate(self._groups):
+            for idx in set(group.encoder_idx) | {group.head_idx}:
+                self._uses[idx].append(g)
+        self._totals = [group.total_for_assignment(self.assign) for group in self._groups]
+
+    @property
+    def joules(self) -> float:
+        """Current total joules (request-order summation, bit-identical)."""
+        total = 0.0
+        for g in self._group_of:
+            total = total + self._totals[g]
+        return float(total)
+
+    def move(self, module_name: str, device_name: str) -> float:
+        """Move ``module_name`` to ``device_name``; returns the new joules."""
+        m = self.tensors.module_idx(module_name)
+        n = self.tensors.device_idx(device_name)
+        self.assign[m] = n
+        for g in self._uses[m]:
+            self._totals[g] = self._groups[g].total_for_assignment(self.assign)
+        return self.joules
+
+    def delta(self, module_name: str, device_name: str) -> float:
+        """Joule change if the move were applied (state restored after)."""
+        m = self.tensors.module_idx(module_name)
+        before_device = int(self.assign[m])
+        before = self.joules
         after = self.move(module_name, device_name)
         self.move(module_name, self.tensors.device_names[before_device])
         return after - before

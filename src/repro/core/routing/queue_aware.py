@@ -13,7 +13,7 @@ This is the natural companion of the leftover-memory replication pass
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.cluster.requests import InferenceRequest
 from repro.cluster.topology import EdgeCluster
@@ -31,6 +31,17 @@ class QueueAwareRouter:
       not yet reached the device's queue.  Without this, a simultaneous
       burst routes before any queue forms and every request still piles
       onto the single fastest host.
+
+    Reservations **decay like a leaky bucket**: each device's ledger of
+    reserved service-seconds drains at the device's slot capacity
+    (service-seconds per simulated second) — the rate at which the device
+    can actually absorb routed work — not per reservation, which would let
+    ``k`` concurrent reservations drain ``k`` times faster than the device
+    runs.  Within a simultaneous burst (all routed at one instant) nothing
+    has decayed and the estimate is unchanged; over a long spaced-out
+    request sequence the stale reservations drain instead of piling up
+    until every estimate saturates and routing degenerates back to
+    fastest-host.
     """
 
     def __init__(
@@ -42,14 +53,27 @@ class QueueAwareRouter:
         self.cluster = cluster
         self.latency_model = latency_model
         self.placement = placement
-        self._reserved_seconds: Dict[str, float] = {}
+        #: Per device: (last_drain_time, outstanding_service_seconds).
+        self._reservations: Dict[str, Tuple[float, float]] = {}
+
+    def reserved_seconds(self, device_name: str) -> float:
+        """Undrained service-seconds still reserved against ``device_name``."""
+        state = self._reservations.get(device_name)
+        if state is None:
+            return 0.0
+        now = self.cluster.sim.now
+        last, outstanding = state
+        capacity = self.cluster.device(device_name).slots.capacity
+        outstanding = max(0.0, outstanding - capacity * (now - last))
+        self._reservations[device_name] = (now, outstanding)
+        return outstanding
 
     def estimated_wait(self, device_name: str, service_seconds: float) -> float:
         """Expected queueing delay on ``device_name`` for a new arrival."""
         device = self.cluster.device(device_name)
         outstanding = device.slots.in_use + device.slots.queue_length
         live_wait = outstanding / device.slots.capacity * service_seconds
-        reserved = self._reserved_seconds.get(device_name, 0.0) / device.slots.capacity
+        reserved = self.reserved_seconds(device_name) / device.slots.capacity
         return live_wait + reserved
 
     def __call__(self, request: InferenceRequest) -> RoutingDecision:
@@ -63,7 +87,7 @@ class QueueAwareRouter:
                 scored.append((service + wait, device_name, service))
             _, chosen, service = min(scored)
             hosts[module_name] = chosen
-            self._reserved_seconds[chosen] = (
-                self._reserved_seconds.get(chosen, 0.0) + service
-            )
+            # Drain the bucket to `now` first, then add the new reservation.
+            outstanding = self.reserved_seconds(chosen)
+            self._reservations[chosen] = (self.cluster.sim.now, outstanding + service)
         return RoutingDecision(request=request, hosts=hosts)

@@ -5,9 +5,24 @@ of edge devices" — the paper defers it; we provide the model and an
 energy-aware placement objective so the trade-off can be studied.
 
 Per device: active power while computing, idle power otherwise, plus a
-per-byte radio cost for transfers.  Per-request energy of a placement is the
-sum over routed modules of ``active_power * t_comp`` plus the transfer
-energy on both endpoints.
+per-byte radio cost for transfers.  Per-request energy of a placement is
+the sum over routed modules of ``active_power * t_comp`` plus the radio
+energy of every **actual** transfer:
+
+- the modality input hop ``source -> encoder host``, charged to both radio
+  endpoints, and **zero when the encoder is hosted on the source device** —
+  the same semantics as :meth:`Network.transfer_seconds`, which returns 0
+  for ``src == dst`` (the paper only transmits "if the requester device and
+  the device to encode the data are different");
+- the embedding hop ``encoder host -> head host`` (Eq. 2's output
+  transmission), also charged to both endpoints and free when co-located —
+  priced consistently with the latency tensors' ``[N, N]`` embedding
+  matrices.
+
+The solvers (:func:`energy_aware_placement`) run on the vectorized energy
+tensors (:class:`repro.core.placement.tensors.EnergyTensors`), which replay
+these scalar formulas in the same float-operation order, so tensorized
+joules are bit-identical to this module's reference path.
 """
 
 from __future__ import annotations
@@ -17,10 +32,10 @@ from typing import Dict, Optional, Sequence
 
 from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
-from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.problem import Placement, PlacementProblem
 from repro.core.routing.latency import LatencyModel
 from repro.utils.errors import ConfigurationError
+from repro.utils.seeding import rng_for
 
 
 @dataclass(frozen=True)
@@ -63,28 +78,88 @@ def get_energy_profile(name: str) -> EnergyProfile:
         raise ConfigurationError(f"no energy profile for device {name!r}") from None
 
 
+#: Device-name prefix of the synthetic scaling instances
+#: (``repro.experiments.scaling`` names its fleet ``dev-00``, ``dev-01``, ...).
+SYNTHETIC_DEVICE_PREFIX = "dev-"
+
+#: Derived profiles for the synthetic fleet; cached so repeated resolution
+#: returns one object.
+_DERIVED_PROFILES: Dict[str, EnergyProfile] = {}
+
+
+def resolve_energy_profile(name: str) -> EnergyProfile:
+    """The device's energy profile.
+
+    The calibrated table covers the paper's testbed; the synthetic scaling
+    fleet (:data:`SYNTHETIC_DEVICE_PREFIX` names only) gets a profile
+    seeded deterministically from the device *name*, so the same instance
+    always prices to the same joules regardless of call order or process.
+    Any other unknown name raises :class:`ConfigurationError` — a typo'd
+    or stale device name must not silently price against a fabricated
+    profile.
+    """
+    profile = ENERGY_PROFILES.get(name)
+    if profile is not None:
+        return profile
+    if not name.startswith(SYNTHETIC_DEVICE_PREFIX):
+        return get_energy_profile(name)  # raises ConfigurationError
+    derived = _DERIVED_PROFILES.get(name)
+    if derived is None:
+        rng = rng_for("energy-profile", name)
+        active = float(rng.uniform(8.0, 120.0))
+        derived = EnergyProfile(
+            name,
+            active_watts=active,
+            idle_watts=0.15 * active,
+            radio_nj_per_byte=float(rng.uniform(20.0, 100.0)),
+        )
+        _DERIVED_PROFILES[name] = derived
+    return derived
+
+
+def hop_radio_joules(src: str, dst: str, payload_bytes: int) -> float:
+    """Radio joules to move ``payload_bytes`` from ``src`` to ``dst``.
+
+    Charged to **both** endpoints (sender TX + receiver RX); zero when the
+    endpoints coincide, matching :meth:`Network.transfer_seconds`.
+    """
+    if src == dst:
+        return 0.0
+    return resolve_energy_profile(src).transfer_joules(payload_bytes) + (
+        resolve_energy_profile(dst).transfer_joules(payload_bytes)
+    )
+
+
 def request_energy_joules(
     request: InferenceRequest,
     placement: Placement,
     latency_model: LatencyModel,
 ) -> float:
-    """Total cluster energy to serve one request under ``placement``."""
+    """Total cluster energy to serve one request under ``placement``.
+
+    Accumulation order (the energy tensors replay it exactly): for each
+    encoder path, ``(compute + input radio) + embedding radio``; then the
+    head's compute joules.
+    """
     routing = latency_model.route(request, placement)
     total = 0.0
     # Resolve against the problem's table so no-sharing clones work too.
     modules = [latency_model.module(name) for name in request.model.module_names]
+    head_host = routing.host_of(request.model.head)
     for module in modules:
         host = routing.host_of(module.name)
-        energy = get_energy_profile(host)
-        total += energy.compute_joules(
+        profile = resolve_energy_profile(host)
+        compute = profile.compute_joules(
             latency_model.compute_seconds(request, module.name, host)
         )
         if module.is_encoder:
             modality = module.modality or "image"
             payload = request.model.payload_bytes(modality)
-            # Radio energy on both the sender and the receiver.
-            total += get_energy_profile(request.source).transfer_joules(payload)
-            total += energy.transfer_joules(payload)
+            path = compute + hop_radio_joules(request.source, host, payload)
+            path = path + hop_radio_joules(host, head_host, module.output_bytes)
+            total = total + path
+        else:
+            total = total + compute
     return total
 
 
@@ -102,33 +177,36 @@ def energy_aware_placement(
     requests: Sequence[InferenceRequest],
     network: Optional[Network] = None,
     latency_budget_factor: float = 1.5,
+    solver: str = "auto",
+    tensors=None,
 ) -> Placement:
     """Pick the lowest-energy placement within a latency budget.
 
-    Enumerates candidates via the brute-force generator when the instance is
-    small, constrained to at most ``latency_budget_factor`` times the greedy
-    placement's latency — the battery-life optimization the paper defers to
-    future work, made concrete.
-
-    Candidate scoring (both the latency-budget filter and the per-request
-    energy pricing) runs on the one :class:`LatencyModel` — and therefore on
-    one shared set of cost tensors
-    (:mod:`repro.core.placement.tensors`) — instead of re-deriving compute
-    and transfer times per candidate.
+    The budget is ``latency_budget_factor`` times the greedy placement's
+    latency objective — the battery-life optimization the paper defers to
+    future work, made concrete.  Dispatches to
+    :func:`repro.core.placement.optimal.energy_optimal_placement`:
+    branch-and-bound by default (exact, scales to ~10 modules x ~32
+    devices), brute-force enumeration as the oracle (``solver="brute"``).
+    Falls back to the greedy baseline when no placement fits the budget.
     """
-    from repro.core.placement.optimal import enumerate_placements
+    from repro.core.placement.greedy import greedy_placement
+    from repro.core.placement.optimal import energy_optimal_placement
 
+    if latency_budget_factor <= 0:
+        raise ConfigurationError(
+            f"latency_budget_factor must be positive, got {latency_budget_factor}"
+        )
     net = network if network is not None else Network()
-    model = LatencyModel(problem, net)
+    model = LatencyModel(problem, net, tensors=tensors)
     baseline = greedy_placement(problem)
     budget = latency_budget_factor * model.objective(requests, baseline)
-
-    best: Optional[Placement] = None
-    best_energy = float("inf")
-    for candidate in enumerate_placements(problem):
-        if model.objective(requests, candidate) > budget:
-            continue
-        joules = energy_objective(requests, candidate, model)
-        if joules < best_energy:
-            best, best_energy = candidate, joules
+    best, _ = energy_optimal_placement(
+        problem,
+        requests,
+        network=net,
+        latency_budget=budget,
+        solver=solver,
+        tensors=model.tensors,
+    )
     return best if best is not None else baseline

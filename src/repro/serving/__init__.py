@@ -30,6 +30,8 @@ Quickstart::
 from repro.serving.churn import FAIL, RECOVER, DeviceChurnEvent, generate_churn
 from repro.serving.report import (
     ChurnRecord,
+    DeviceEnergy,
+    EnergyReport,
     MigrationRecord,
     RequestRecord,
     ServingReport,
@@ -43,6 +45,8 @@ __all__ = [
     "ArrivalTrace",
     "ChurnRecord",
     "DeviceChurnEvent",
+    "DeviceEnergy",
+    "EnergyReport",
     "FAIL",
     "RECOVER",
     "MigrationRecord",

@@ -69,6 +69,83 @@ class ChurnRecord:
     detail: str = ""
 
 
+def merged_busy_seconds(intervals, horizon_s: float) -> float:
+    """Total length of the union of ``(start, end)`` intervals, clipped to
+    ``[0, horizon_s]``.
+
+    Overlapping compute spans (a multi-slot device running two batches at
+    once) must not double-charge active power — a device is *active* while
+    at least one span runs, idle otherwise, so active + idle always equals
+    the wall-clock horizon exactly.
+    """
+    clipped = sorted(
+        (max(0.0, start), min(horizon_s, end))
+        for start, end in intervals
+        if min(horizon_s, end) > max(0.0, start)
+    )
+    busy = 0.0
+    current_start: Optional[float] = None
+    current_end = 0.0
+    for start, end in clipped:
+        if current_start is None or start > current_end:
+            if current_start is not None:
+                busy += current_end - current_start
+            current_start, current_end = start, end
+        elif end > current_end:
+            current_end = end
+    if current_start is not None:
+        busy += current_end - current_start
+    return busy
+
+
+@dataclass(frozen=True)
+class DeviceEnergy:
+    """Energy ledger of one device over a serving run.
+
+    ``active_s`` is the union of the device's compute/head span intervals
+    (overlapping batches on a multi-slot device count once); ``idle_s`` is
+    the rest of the run's wall-clock horizon, so
+    ``active_s + idle_s == horizon_s`` per device.  ``radio_j`` is the
+    per-byte transfer energy charged to this device as sender or receiver
+    (zero for co-located hops, like the placement-time energy model).
+    """
+
+    device: str
+    active_s: float
+    idle_s: float
+    active_j: float
+    idle_j: float
+    radio_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.idle_j + self.radio_j
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Cluster-wide energy accounting for one serving run."""
+
+    horizon_s: float
+    devices: Tuple[DeviceEnergy, ...]
+
+    @property
+    def active_j(self) -> float:
+        return sum(d.active_j for d in self.devices)
+
+    @property
+    def idle_j(self) -> float:
+        return sum(d.idle_j for d in self.devices)
+
+    @property
+    def radio_j(self) -> float:
+        return sum(d.radio_j for d in self.devices)
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.idle_j + self.radio_j
+
+
 @dataclass(frozen=True)
 class ServingReport:
     """Aggregate outcome of one serving run."""
@@ -86,6 +163,7 @@ class ServingReport:
     migrations: Tuple[MigrationRecord, ...] = ()
     churn: Tuple[ChurnRecord, ...] = ()
     records: Tuple[RequestRecord, ...] = field(default=(), repr=False)
+    energy: Optional[EnergyReport] = None
 
     @property
     def elapsed_s(self) -> float:
@@ -115,6 +193,23 @@ class ServingReport:
             return 1.0
         return self.completed / self.arrivals
 
+    @property
+    def joules_per_request(self) -> float:
+        """Total cluster joules per completed request (0 when untracked or
+        nothing completed)."""
+        if self.energy is None or self.completed == 0:
+            return 0.0
+        return self.energy.total_j / self.completed
+
+    @property
+    def joules_per_goodput(self) -> float:
+        """Energy cost of goodput: total joules per SLO-met completion —
+        the battery-life counterpart of ``goodput_rps`` (0 when untracked
+        or nothing met its SLO)."""
+        if self.energy is None or self.slo_met == 0:
+            return 0.0
+        return self.energy.total_j / self.slo_met
+
     def metrics_tuple(self) -> tuple:
         """A hashable digest of every headline metric (determinism tests)."""
         return (
@@ -131,8 +226,9 @@ class ServingReport:
             round(self.latency.makespan, 9),
         )
 
-    def render(self) -> str:
-        """Human-readable report for the CLI."""
+    def render(self, show_energy: bool = False) -> str:
+        """Human-readable report for the CLI (``show_energy`` appends the
+        per-device energy ledger when accounting was tracked)."""
         lines = [
             f"Online serving report — workload={self.workload_kind} "
             f"duration={self.duration_s:.0f}s seed={self.seed}",
@@ -162,6 +258,22 @@ class ServingReport:
                     f"    t={migration.time:7.2f}s cost={migration.switching_cost_s:.2f}s "
                     f"{migration.reason}"
                 )
+        if show_energy and self.energy is not None:
+            e = self.energy
+            lines.append(
+                f"  energy:          {e.total_j:.1f} J over {e.horizon_s:.1f}s "
+                f"(active {e.active_j:.1f} J, idle {e.idle_j:.1f} J, radio {e.radio_j:.2f} J)"
+            )
+            lines.append(
+                f"  joules/request:  {self.joules_per_request:.1f} J per completion, "
+                f"{self.joules_per_goodput:.1f} J per SLO-met"
+            )
+            for d in e.devices:
+                lines.append(
+                    f"    {d.device:>12} active {d.active_s:7.2f}s/{d.active_j:9.1f} J  "
+                    f"idle {d.idle_s:7.2f}s/{d.idle_j:9.1f} J  "
+                    f"radio {d.radio_j:7.3f} J  total {d.total_j:10.1f} J"
+                )
         return "\n".join(lines)
 
 
@@ -172,6 +284,7 @@ def build_report(
     records: List[RequestRecord],
     migrations: List[MigrationRecord],
     churn: List[ChurnRecord],
+    energy: Optional[EnergyReport] = None,
 ) -> ServingReport:
     """Assemble the aggregate report, enforcing request conservation."""
     unresolved = [r for r in records if not r.completed and r.rejected_reason is None]
@@ -201,4 +314,5 @@ def build_report(
         migrations=tuple(migrations),
         churn=tuple(churn),
         records=tuple(records),
+        energy=energy,
     )

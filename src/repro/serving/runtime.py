@@ -54,12 +54,16 @@ from repro.core.routing.latency import RoutingDecision
 from repro.core.routing.queue_aware import QueueAwareRouter
 from repro.profiles.devices import edge_device_names
 from repro.serving.churn import FAIL, DeviceChurnEvent
+from repro.profiles.energy import resolve_energy_profile
 from repro.serving.report import (
     ChurnRecord,
+    DeviceEnergy,
+    EnergyReport,
     MigrationRecord,
     RequestRecord,
     ServingReport,
     build_report,
+    merged_busy_seconds,
 )
 from repro.serving.slo import SLOPolicy
 from repro.serving.workload import ArrivalTrace
@@ -74,8 +78,9 @@ class StreamingQueueAwareRouter(QueueAwareRouter):
     Extends the burst router with two stream-specific signals: candidates
     are filtered to the *live* device set (churn-aware), and the wait
     estimate adds the micro-batcher's queued-but-unstarted backlog (in
-    service-seconds) instead of the burst router's sticky reservations,
-    which never decay and would saturate on a long stream.
+    service-seconds) instead of the burst router's time-decaying
+    reservations — the batcher's backlog ledger is exact for a stream,
+    while reservations only *estimate* how fast routed work drains.
     """
 
     def __init__(self, cluster, latency_model, placement, live: Set[str], backlog: Dict[str, float]) -> None:
@@ -146,6 +151,15 @@ class ServingRuntime:
             requests (see :class:`AdaptivePlacementController`).
         recent_window: How many recently admitted requests price a candidate
             re-placement (falls back to one request per model when empty).
+        track_energy: Account per-device energy during the run (see
+            :class:`~repro.serving.report.EnergyReport`): active joules over
+            the union of compute/head spans, idle joules (``idle_watts``)
+            over the rest of the wall-clock horizon — failed devices keep
+            drawing idle power, they leave rather than power off — and
+            per-byte radio joules on both endpoints of every input and
+            embedding transfer (co-located hops free, matching
+            :mod:`repro.profiles.energy`).  Deployment-phase model loading
+            is out of scope: the ledger covers the serving run itself.
 
     Every ``run`` builds a fresh cluster and simulator (clock at 0), so the
     same runtime object can serve many traces; with identical arguments and
@@ -163,6 +177,7 @@ class ServingRuntime:
         replicate: bool = True,
         adapt_expected_requests: int = 20,
         recent_window: int = 32,
+        track_energy: bool = True,
     ) -> None:
         if not models:
             raise ValueError("need at least one model to serve")
@@ -179,6 +194,7 @@ class ServingRuntime:
         self.replicate = replicate
         self.adapt_expected_requests = adapt_expected_requests
         self.recent_window = recent_window
+        self.track_energy = track_energy
 
     # ==================================================================
     # Run
@@ -215,6 +231,7 @@ class ServingRuntime:
         self._active_servers: Set[Tuple[str, str]] = set()
         self._nics = UplinkPool(self._sim)
         self._fail_times: Dict[str, List[float]] = {}
+        self._radio_joules: Dict[str, float] = {}
         self._reconfig_event: Event = self._sim.event()
         self._recent_requests: List[InferenceRequest] = []
         self._migrations: List[MigrationRecord] = []
@@ -238,6 +255,7 @@ class ServingRuntime:
             records,
             self._migrations,
             self._churn_log,
+            energy=self._energy_report() if self.track_energy else None,
         )
 
     # ==================================================================
@@ -314,6 +332,7 @@ class ServingRuntime:
                     )
                 finally:
                     nic.release(token)
+                self._charge_radio(request.source, host, payload)
             job = _Job(
                 request=request,
                 done=sim.event(),
@@ -342,6 +361,7 @@ class ServingRuntime:
                     self._cluster, encoder_host, host, module.output_bytes,
                     f"emb->{host}", request.request_id,
                 )
+                self._charge_radio(encoder_host, host, module.output_bytes)
             job = _Job(
                 request=request,
                 done=self._sim.event(),
@@ -556,6 +576,56 @@ class ServingRuntime:
     def _signal_reconfigured(self) -> None:
         event, self._reconfig_event = self._reconfig_event, self._sim.event()
         event.succeed(True)
+
+    # ==================================================================
+    # Energy accounting
+    # ==================================================================
+    def _charge_radio(self, src: str, dst: str, payload_bytes: int) -> None:
+        """Charge per-byte radio joules to both transfer endpoints.
+
+        Co-located hops are free — the same rule as the placement-time
+        energy model and ``Network.transfer_seconds``.  Retried transfers
+        charge again: the radios really did move the bytes twice.
+        """
+        if not self.track_energy or src == dst:
+            return
+        self._radio_joules[src] = self._radio_joules.get(src, 0.0) + (
+            resolve_energy_profile(src).transfer_joules(payload_bytes)
+        )
+        self._radio_joules[dst] = self._radio_joules.get(dst, 0.0) + (
+            resolve_energy_profile(dst).transfer_joules(payload_bytes)
+        )
+
+    def _energy_report(self) -> EnergyReport:
+        """Per-device energy over the run's wall-clock horizon.
+
+        Active time is the union of the device's compute/head spans from
+        the execution timeline (overlapping batches on a multi-slot device
+        count once); every other second draws ``idle_watts`` — so active +
+        idle seconds equal the horizon per device, and the totals are an
+        exact integral of the modeled power draw plus the radio ledger.
+        """
+        horizon = self._sim.now
+        intervals: Dict[str, List[Tuple[float, float]]] = {}
+        for span in self._cluster.trace.spans:
+            if span.category in (CATEGORY_COMPUTE, CATEGORY_HEAD):
+                intervals.setdefault(span.device, []).append((span.start, span.end))
+        devices = []
+        for name in self._cluster.device_names:
+            profile = resolve_energy_profile(name)
+            active_s = merged_busy_seconds(intervals.get(name, ()), horizon)
+            idle_s = max(0.0, horizon - active_s)
+            devices.append(
+                DeviceEnergy(
+                    device=name,
+                    active_s=active_s,
+                    idle_s=idle_s,
+                    active_j=profile.active_watts * active_s,
+                    idle_j=profile.idle_watts * idle_s,
+                    radio_j=self._radio_joules.get(name, 0.0),
+                )
+            )
+        return EnergyReport(horizon_s=horizon, devices=tuple(devices))
 
     # ==================================================================
     # Admission helpers

@@ -1,10 +1,16 @@
 #!/usr/bin/env python
-"""Fail on broken intra-repo markdown links (CI docs-check job).
+"""Fail on broken intra-repo markdown links and orphan docs (CI docs-check).
 
-Scans every ``*.md`` file in the repository for inline links and images
-``[text](target)`` and verifies that each *relative* target exists on disk
-(anchors are stripped; external ``scheme://`` links and pure in-page
-``#anchor`` links are skipped).  Exits 1 listing every broken link.
+Two checks over every ``*.md`` file in the repository:
+
+1. **Link integrity** — each inline link/image ``[text](target)`` with a
+   *relative* target must exist on disk (anchors are stripped; external
+   ``scheme://`` links and pure in-page ``#anchor`` links are skipped).
+2. **Orphan docs** — every page under ``docs/`` must be reachable from
+   ``README.md`` by following intra-repo markdown links; a doc nobody
+   links to is a doc nobody finds.
+
+Exits 1 listing every broken link and orphan page.
 
 Run:  python scripts/check_markdown_links.py [repo_root]
 """
@@ -34,33 +40,89 @@ def iter_markdown(root: Path):
         yield path
 
 
-def broken_links(root: Path) -> List[Tuple[Path, str]]:
+def markdown_targets(path: Path) -> List[str]:
+    """Relative link targets of one markdown file (fences stripped)."""
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    targets: List[str] = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if _SCHEME.match(target) or target.startswith("#"):
+            continue  # external URL or in-page anchor
+        plain = target.split("#", 1)[0]
+        if plain:
+            targets.append(plain)
+    return targets
+
+
+def scan_markdown(root: Path) -> "dict[Path, List[str]]":
+    """One pass over the tree: resolved path -> its relative link targets.
+
+    Shared by the link check, the orphan walk, and the file count, so the
+    tree is globbed and each file read/parsed exactly once.
+    """
+    return {path.resolve(): markdown_targets(path) for path in iter_markdown(root)}
+
+
+def broken_links(root: Path, targets_of: "dict[Path, List[str]]") -> List[Tuple[Path, str]]:
     failures: List[Tuple[Path, str]] = []
-    for path in iter_markdown(root):
-        text = _FENCE.sub("", path.read_text(encoding="utf-8"))
-        for match in _LINK.finditer(text):
-            target = match.group(1)
-            if _SCHEME.match(target) or target.startswith("#"):
-                continue  # external URL or in-page anchor
-            plain = target.split("#", 1)[0]
-            if not plain:
-                continue
-            resolved = (path.parent / plain).resolve()
+    for path, targets in targets_of.items():
+        for target in targets:
+            resolved = (path.parent / target).resolve()
             if not resolved.exists():
                 failures.append((path.relative_to(root), target))
     return failures
 
 
+def orphan_docs(root: Path, targets_of: "dict[Path, List[str]]") -> List[Path]:
+    """Pages under ``docs/`` not reachable from README.md via markdown links.
+
+    Depth-first walk of the intra-repo link graph starting at the README
+    (order is irrelevant — only the reachable set matters); any
+    ``docs/*.md`` page the walk never visits is an orphan.  Returns an
+    empty list when the repo has no README or no docs directory.
+    """
+    readme = (root / "README.md").resolve()
+    docs_dir = root / "docs"
+    if readme not in targets_of or not docs_dir.is_dir():
+        return []
+    reachable = set()
+    frontier = [readme]
+    while frontier:
+        page = frontier.pop()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        for target in targets_of.get(page, ()):
+            resolved = (page.parent / target).resolve()
+            if resolved in targets_of and resolved not in reachable:
+                frontier.append(resolved)
+    return sorted(
+        path.relative_to(root)
+        for path in targets_of
+        if docs_dir.resolve() in path.parents and path not in reachable
+    )
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
-    failures = broken_links(root)
-    checked = sum(1 for _ in iter_markdown(root))
+    targets_of = scan_markdown(root)
+    failures = broken_links(root, targets_of)
+    orphans = orphan_docs(root, targets_of)
+    checked = len(targets_of)
     if failures:
         print(f"docs-check: {len(failures)} broken intra-repo link(s):")
         for path, target in failures:
             print(f"  {path}: ({target})")
+    if orphans:
+        print(f"docs-check: {len(orphans)} orphan doc page(s) unreachable from README.md:")
+        for path in orphans:
+            print(f"  {path}")
+    if failures or orphans:
         return 1
-    print(f"docs-check: OK ({checked} markdown files, no broken intra-repo links)")
+    print(
+        f"docs-check: OK ({checked} markdown files, no broken intra-repo links, "
+        "no orphan docs)"
+    )
     return 0
 
 

@@ -1,19 +1,23 @@
 #!/usr/bin/env python
-"""Run the placement perf benchmarks; emit ``BENCH_placement.json`` and
-``BENCH_energy.json``.
+"""Run the placement perf benchmarks; emit ``BENCH_placement.json``,
+``BENCH_energy.json``, and ``BENCH_replicas.json``.
 
 This is the repo's recorded perf trajectory: the instance-size sweep
 (scalar vs. tensorized objective, brute force vs. branch-and-bound), a
-serve-under-churn recovery run, and the energy-placement sweep (energy
+serve-under-churn recovery run, the energy-placement sweep (energy
 branch-and-bound vs. brute force under a latency budget, see
-``docs/energy.md``).  The checked-in JSONs are regenerated with::
+``docs/energy.md``), and the replica sweep (replica branch-and-bound vs.
+brute-force host-set enumeration, plus the serving autoscaler vs. static
+replication under bursty overload, see ``docs/placement.md``).  The
+checked-in JSONs are regenerated with::
 
     python scripts/run_benchmarks.py
 
 and CI runs the trimmed ``--smoke`` variant on every push (writing
-``BENCH_smoke.json`` / ``BENCH_energy_smoke.json``), uploading the JSONs as
-artifacts so the trend is inspectable per commit.  See
-``docs/performance.md`` for the schema and how to read the numbers.
+``BENCH_smoke.json`` / ``BENCH_energy_smoke.json`` /
+``BENCH_replicas_smoke.json``), uploading the JSONs as artifacts so the
+trend is inspectable per commit.  See ``docs/performance.md`` for the
+schema and how to read the numbers.
 """
 
 from __future__ import annotations
@@ -32,6 +36,11 @@ FULL_SWEEP = [(3, 4), (4, 5), (6, 8), (8, 16), (10, 24), (10, 32)]
 SMOKE_SWEEP = [(3, 4), (6, 8), (8, 16)]
 ENERGY_FULL_SWEEP = [(3, 4), (4, 5), (6, 8), (8, 16), (10, 32)]
 ENERGY_SMOKE_SWEEP = [(3, 4), (6, 8)]
+#: (modules, devices, max_copies).  The replica search space is the subset
+#: lattice (~(N + N^2/2)^M), exponentially larger than single-copy N^M, so
+#: the exact envelope is deliberately smaller — see docs/placement.md.
+REPLICA_FULL_SWEEP = [(3, 4, 2), (4, 5, 2), (4, 5, 3), (4, 6, 2), (5, 8, 2)]
+REPLICA_SMOKE_SWEEP = [(3, 4, 2), (4, 5, 2)]
 
 
 def bench_objective(n_modules: int, n_devices: int, repeats: int) -> dict:
@@ -174,6 +183,107 @@ def bench_energy_solver(n_modules: int, n_devices: int, budget_factor: float = 1
     return row
 
 
+def bench_replica_solver(n_modules: int, n_devices: int, max_copies: int) -> dict:
+    """Replica-aware greedy / brute / branch-and-bound on one instance."""
+    from repro.core.placement.greedy import greedy_placement
+    from repro.core.placement.replicas import (
+        MAX_REPLICA_ASSIGNMENTS,
+        host_subsets,
+        replica_aware_greedy,
+        replica_branch_and_bound,
+        replica_brute_force,
+    )
+    from repro.core.routing.latency import LatencyModel
+    from repro.experiments.scaling import synthetic_instance
+
+    instance = synthetic_instance(n_modules, n_devices, seed=1, n_requests=6)
+    requests = list(instance.requests)
+    model = LatencyModel(instance.problem, instance.network)
+    single = greedy_placement(instance.problem)
+    single_objective = model.replica_objective(requests, single)
+
+    start = time.perf_counter()
+    _, greedy_objective = replica_aware_greedy(
+        instance.problem, requests, instance.network,
+        max_copies=max_copies, tensors=model.tensors,
+    )
+    greedy_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bnb_placement, bnb_objective = replica_branch_and_bound(
+        instance.problem, requests, instance.network,
+        max_copies=max_copies, tensors=model.tensors,
+    )
+    bnb_s = time.perf_counter() - start
+
+    n_subsets = len(host_subsets([d.name for d in instance.problem.devices], max_copies))
+    row = {
+        "modules": n_modules,
+        "devices": n_devices,
+        "max_copies": max_copies,
+        "host_set_assignments": n_subsets ** n_modules,
+        "single_copy_objective": single_objective,
+        "replica_greedy_s": round(greedy_s, 6),
+        "replica_greedy_objective": greedy_objective,
+        "bnb_s": round(bnb_s, 6),
+        "bnb_objective": bnb_objective,
+        "replication_gain": round(1.0 - bnb_objective / single_objective, 6),
+        "greedy_optimality_gap": round(greedy_objective / bnb_objective - 1.0, 6),
+    }
+    if n_subsets ** n_modules <= min(MAX_REPLICA_ASSIGNMENTS, 300_000):
+        start = time.perf_counter()
+        brute_placement, brute_objective = replica_brute_force(
+            instance.problem, requests, instance.network,
+            max_copies=max_copies, tensors=model.tensors,
+        )
+        row["brute_s"] = round(time.perf_counter() - start, 6)
+        row["brute_matches_bnb"] = (
+            brute_objective == bnb_objective
+            and brute_placement.as_dict() == bnb_placement.as_dict()
+        )
+    return row
+
+
+def bench_replica_serving(duration_s: float, rate_rps: float = 2.5, seed: int = 7) -> dict:
+    """Bursty overload: single-copy vs leftover replication vs autoscale.
+
+    Runs the SAME study as ``python -m repro replicas``
+    (:func:`repro.experiments.replicas.run_serving_study` — one definition,
+    no drift) and records it with conservation flags.  Admission is off so
+    the metrics measure raw serving capacity; the acceptance bar is the
+    autoscaler beating the ``replicate=True`` baseline on goodput **or**
+    p95 at this high-rate point.
+    """
+    from repro.experiments.replicas import run_serving_study
+
+    start = time.perf_counter()
+    reports = run_serving_study(rate_rps=rate_rps, duration_s=duration_s, seed=seed)
+    wall_s = time.perf_counter() - start
+    result = {
+        "workload": "bursty",
+        "rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "seed": seed,
+        "arrivals": reports[0][1].arrivals,
+        "wall_s": round(wall_s, 4),
+    }
+    for key, report in reports:
+        result[key] = {
+            "goodput_rps": round(report.goodput_rps, 6),
+            "p50_s": round(report.latency.p50, 4),
+            "p95_s": round(report.latency.p95, 4),
+            "makespan_s": round(report.latency.makespan, 4),
+            "completed": report.completed,
+            "conservation_ok": report.completed + report.rejected == report.arrivals,
+            "scale_actions_applied": sum(1 for s in report.scaling if s.applied),
+        }
+    result["autoscale_beats_leftover"] = (
+        result["autoscale"]["goodput_rps"] > result["leftover"]["goodput_rps"]
+        or result["autoscale"]["p95_s"] < result["leftover"]["p95_s"]
+    )
+    return result
+
+
 def bench_serving_churn(duration_s: float) -> dict:
     """Serve a Poisson trace through fail/recover churn; report recovery."""
     from repro.serving import ServingRuntime, SLOPolicy, WorkloadGenerator
@@ -230,12 +340,21 @@ def main() -> int:
         help="where to write the energy-placement JSON (default: "
         "BENCH_energy.json for full runs, BENCH_energy_smoke.json for --smoke)",
     )
+    parser.add_argument(
+        "--replica-output", type=Path, default=None,
+        help="where to write the replica-placement/serving JSON (default: "
+        "BENCH_replicas.json for full runs, BENCH_replicas_smoke.json for --smoke)",
+    )
     args = parser.parse_args()
     if args.output is None:
         args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
     if args.energy_output is None:
         args.energy_output = REPO_ROOT / (
             "BENCH_energy_smoke.json" if args.smoke else "BENCH_energy.json"
+        )
+    if args.replica_output is None:
+        args.replica_output = REPO_ROOT / (
+            "BENCH_replicas_smoke.json" if args.smoke else "BENCH_replicas.json"
         )
 
     import numpy
@@ -279,6 +398,26 @@ def main() -> int:
     args.energy_output.write_text(json.dumps(energy_results, indent=2) + "\n")
     print(f"wrote {args.energy_output}")
 
+    replica_results = {
+        "benchmark": "replica-placement",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "solver_sweep": [],
+    }
+    for n_modules, n_devices, max_copies in (
+        REPLICA_SMOKE_SWEEP if args.smoke else REPLICA_FULL_SWEEP
+    ):
+        print(f"replica solver sweep {n_modules}x{n_devices} mc={max_copies} ...", flush=True)
+        replica_results["solver_sweep"].append(
+            bench_replica_solver(n_modules, n_devices, max_copies)
+        )
+    print("replica serving (autoscale vs static replication) ...", flush=True)
+    replica_results["serving"] = bench_replica_serving(20.0 if args.smoke else 40.0)
+    args.replica_output.write_text(json.dumps(replica_results, indent=2) + "\n")
+    print(f"wrote {args.replica_output}")
+
     failures = []
     for row in results["objective_sweep"]:
         if not row["bit_identical"]:
@@ -297,6 +436,23 @@ def main() -> int:
             failures.append(f"energy bnb worse than greedy at {row['modules']}x{row['devices']}")
         if row["bnb_latency_s"] > row["budget_factor"] * row["greedy_latency_s"] + 1e-12:
             failures.append(f"energy bnb over budget at {row['modules']}x{row['devices']}")
+    for row in replica_results["solver_sweep"]:
+        where = f"{row['modules']}x{row['devices']} mc={row['max_copies']}"
+        if row.get("brute_matches_bnb") is False:
+            failures.append(f"replica solver mismatch at {where}")
+        if row["bnb_objective"] > row["replica_greedy_objective"] + 1e-12:
+            failures.append(f"replica bnb worse than replica greedy at {where}")
+        if row["bnb_objective"] > row["single_copy_objective"] + 1e-12:
+            failures.append(f"replica bnb worse than single-copy at {where}")
+    serving = replica_results["serving"]
+    for label in ("single_copy", "leftover", "autoscale"):
+        if not serving[label]["conservation_ok"]:
+            failures.append(f"replica serving conservation violated ({label})")
+    if not serving["autoscale_beats_leftover"]:
+        failures.append(
+            "autoscale does not beat leftover replication on goodput or p95 "
+            "at the benchmarked high-rate point"
+        )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

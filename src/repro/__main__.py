@@ -91,6 +91,12 @@ def _energy() -> str:
     return render_energy()
 
 
+def _replicas() -> str:
+    from repro.experiments.replicas import render_replicas
+
+    return render_replicas()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table6": _table6,
     "table7": _table7,
@@ -104,6 +110,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "ablations": _ablations,
     "extensions": _extensions,
     "energy": _energy,
+    "replicas": _replicas,
 }
 
 
@@ -160,6 +167,15 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--energy", action="store_true",
                         help="append the per-device energy ledger (active/idle/radio "
                         "joules, joules per request) to the report")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="enable the serving-layer replica autoscaler (backlog-driven "
+                        "add/drop of module replicas, load time charged as switching "
+                        "cost); starts from a single-copy deployment so the autoscaler "
+                        "owns replication — see docs/serving.md")
+    parser.add_argument("--autoscale-interval", type=positive, default=0.5,
+                        help="autoscaler control-loop period in simulated seconds (default: 0.5)")
+    parser.add_argument("--max-replicas", type=int, default=3,
+                        help="per-module replica cap for the autoscaler (default: 3)")
     args = parser.parse_args(argv)
 
     from repro.core.catalog import MODEL_CATALOG
@@ -177,6 +193,8 @@ def serve_main(argv=None) -> int:
         parser.error("--max-batch must be >= 1")
     if args.slo_multiplier < 1.0:
         parser.error("--slo-multiplier must be >= 1")
+    if args.max_replicas < 1:
+        parser.error("--max-replicas must be >= 1")
     trace = WorkloadGenerator(
         models,
         kind=args.workload,
@@ -189,6 +207,12 @@ def serve_main(argv=None) -> int:
         slo=SLOPolicy(latency_multiplier=args.slo_multiplier, admission=not args.no_admission),
         max_batch_size=args.max_batch,
         batch_window_s=args.batch_window,
+        # With the autoscaler on, start single-copy: replication becomes the
+        # autoscaler's decision instead of a one-shot deployment pass.
+        replicate=not args.autoscale,
+        autoscale=args.autoscale,
+        autoscale_interval_s=args.autoscale_interval,
+        max_replicas=args.max_replicas,
     )
     churn = generate_churn(
         runtime.device_names,

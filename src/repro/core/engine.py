@@ -101,7 +101,16 @@ class S2M3Engine:
         share: Deduplicate common modules across models (paper default).
         parallel: Per-request parallel routing over modality encoders.
         placement_algorithm: Defaults to greedy Algorithm 1.
-        replicate: Run the leftover-memory replication pass after placement.
+        replicate: Run the leftover-memory replication pass
+            (:func:`~repro.core.placement.greedy.replicate_with_leftover`,
+            default ``max_copies=2``) after placement: extra copies of the
+            largest modules go to the fastest devices with free memory, in
+            descending memory order with deterministic name tie-breaks.
+            Replicas only pay off when routing spreads load across them —
+            pair with the queue-aware router (bursts) or the serving
+            runtime; the one-shot Eq. 7 estimate ignores them.  For
+            load-driven replica counts use the serving autoscaler
+            (``ServingRuntime(autoscale=True)``) instead of a static pass.
     """
 
     cluster: EdgeCluster

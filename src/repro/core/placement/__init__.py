@@ -9,6 +9,9 @@
   counterpart (``energy_optimal_placement``, see ``docs/energy.md``).
 - :mod:`repro.core.placement.bnb` — the branch-and-bound searches
   themselves (identical results, prune far past brute force's size cap).
+- :mod:`repro.core.placement.replicas` — replica-set placement: host
+  *sets* per module under cheapest-replica routing (greedy, brute, and
+  exact branch-and-bound — see ``docs/placement.md``).
 - :mod:`repro.core.placement.tensors` — precomputed cost and energy
   tensors shared by every solver and the serving hot path (see
   ``docs/performance.md``).
@@ -20,6 +23,12 @@ from repro.core.placement.problem import Placement, PlacementProblem
 from repro.core.placement.greedy import greedy_placement, replicate_with_leftover
 from repro.core.placement.optimal import energy_optimal_placement, optimal_placement
 from repro.core.placement.bnb import branch_and_bound_placement, energy_branch_and_bound
+from repro.core.placement.replicas import (
+    replica_aware_greedy,
+    replica_branch_and_bound,
+    replica_brute_force,
+    replica_optimal_placement,
+)
 from repro.core.placement.tensors import (
     CostTensors,
     EnergyTensors,
@@ -42,6 +51,10 @@ __all__ = [
     "energy_optimal_placement",
     "branch_and_bound_placement",
     "energy_branch_and_bound",
+    "replica_aware_greedy",
+    "replica_branch_and_bound",
+    "replica_brute_force",
+    "replica_optimal_placement",
     "CostTensors",
     "EnergyTensors",
     "IncrementalEnergy",

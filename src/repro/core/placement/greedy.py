@@ -97,10 +97,25 @@ def replicate_with_leftover(
 ) -> Placement:
     """Replicate large modules into leftover memory (paper Sec. V-B, last ¶).
 
-    After the primary pass, modules are revisited in descending memory order
-    and an extra replica is placed on the fastest device with room, up to
-    ``max_copies`` total copies per module.  Replicas relieve the shared-
-    module queueing bottleneck at the price of memory.
+    After the primary pass, modules are revisited in **descending
+    memory-bytes order** (module-name tie-break) and each receives extra
+    replicas until it holds ``max_copies`` copies or nothing fits: every
+    replica goes to the device — among those not already hosting the module
+    and with enough residual memory **bytes** (Eq. 4d) — with the smallest
+    planning compute time in **seconds** (``problem.compute_seconds``, the
+    module's heaviest work scale), ties broken by device name.  Replicas
+    land on distinct devices by construction.
+
+    The pass is deliberately *benefit-blind*: it never prices the analytic
+    objective, because its purpose is relieving shared-module **queueing**
+    under bursts, which the isolated-request objective cannot see.  For
+    objective-driven replication use
+    :func:`repro.core.placement.replicas.replica_aware_greedy`, and for the
+    exact joint host-set optimum
+    :func:`repro.core.placement.replicas.replica_optimal_placement`.
+
+    Raises :class:`ValueError` when ``max_copies < 1``.  A ``max_copies``
+    of 1 returns the placement unchanged.
     """
     if max_copies < 1:
         raise ValueError(f"max_copies must be >= 1, got {max_copies}")

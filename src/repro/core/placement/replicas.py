@@ -1,0 +1,558 @@
+"""Replica-set placement: replication as a first-class decision variable.
+
+The paper treats replication as an afterthought (Sec. V-B's last paragraph:
+spend leftover memory on extra copies, implemented by
+:func:`~repro.core.placement.greedy.replicate_with_leftover`).  This module
+promotes it to a solved-for dimension: each module gets a **host set**
+``N_m`` of 1..``max_copies`` devices, requests route to their **cheapest
+replica** (the joint Eq. 1-3 minimum over host combinations — see
+``LatencyModel.replica_route``), and the solvers minimize the resulting
+total latency under the same per-device memory budget (Eq. 4d).
+
+Why cheapest-replica routing and not Eq. 7: Eq. 7 picks the fastest
+*compute* host per module, which is the same device for every request, so
+under it an extra replica can never change the analytic objective.  The
+replica rule prices input transfer + compute + embedding shipping, so
+requests from different source devices genuinely spread across copies.
+
+Three solvers, same contract as the single-copy stack:
+
+- :func:`replica_aware_greedy` — seed with greedy Algorithm 1, then add
+  the single replica with the best strict objective improvement until no
+  addition helps (the objective-driven generalization of
+  ``replicate_with_leftover``).
+- :func:`replica_brute_force` — enumerate every memory-feasible host-set
+  assignment (capped at :data:`MAX_REPLICA_ASSIGNMENTS`).
+- :func:`replica_branch_and_bound` — the exact search: admissible
+  per-request-class bounds pruned over subset candidates, two phases
+  (value, then a tie-break walk in brute-force key order), returning the
+  **identical placement, objective, and tie-break** as brute force —
+  property-tested in ``tests/test_replicas.py``.
+
+All durations are **seconds**; module sizes are **bytes**.  Host tuples in
+returned placements are in sorted device-name order (the canonical form the
+tie-break compares), and ties break toward the lexicographically smallest
+``sorted((module, hosts))`` assignment — the same convention as
+:func:`~repro.core.placement.optimal.optimal_placement`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.requests import InferenceRequest
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.problem import Placement, PlacementProblem
+from repro.core.placement.tensors import CostTensors, RequestGroup
+from repro.utils.errors import PlacementError
+
+#: Safety cap on the host-set enumeration size for brute force.
+MAX_REPLICA_ASSIGNMENTS = 2_000_000
+
+#: Accepted ``solver`` values for :func:`replica_optimal_placement`.
+REPLICA_SOLVERS = ("auto", "bnb", "brute")
+
+
+def host_subsets(device_names: Sequence[str], max_copies: int) -> List[Tuple[str, ...]]:
+    """Every candidate host set: 1..``max_copies`` devices, as sorted-name
+    tuples, in lexicographic tuple order (the brute-force tie-key order)."""
+    if max_copies < 1:
+        raise ValueError(f"max_copies must be >= 1, got {max_copies}")
+    ordered = sorted(device_names)
+    subsets: List[Tuple[str, ...]] = []
+    for size in range(1, min(max_copies, len(ordered)) + 1):
+        subsets.extend(itertools.combinations(ordered, size))
+    subsets.sort()
+    return subsets
+
+
+def enumerate_replica_placements(
+    problem: PlacementProblem, max_copies: int = 2
+) -> Iterator[Placement]:
+    """Yield every memory-feasible host-set placement, in tie-key order.
+
+    Modules are walked in sorted-name order and host sets in lexicographic
+    tuple order, so placements stream out exactly in increasing
+    ``sorted((module, hosts))`` key order — the first optimum found by a
+    linear scan is brute force's deterministic tie-break winner.  A subset
+    charges the module's full weight bytes on **each** member device
+    (replicas are real copies), and an infeasible prefix prunes its whole
+    subtree.
+    """
+    modules = sorted(problem.modules, key=lambda m: m.name)
+    subsets = host_subsets([d.name for d in problem.devices], max_copies)
+    total = len(subsets) ** len(modules)
+    if total > MAX_REPLICA_ASSIGNMENTS:
+        raise PlacementError(
+            f"brute force would enumerate {total} host-set assignments "
+            f"(> {MAX_REPLICA_ASSIGNMENTS}); use replica_branch_and_bound "
+            "(exact, memory/bound-pruned) or replica_aware_greedy for "
+            "instances of this size"
+        )
+    residual: Dict[str, int] = {d.name: d.memory_bytes for d in problem.devices}
+    choice: List[Tuple[str, ...]] = [()] * len(modules)
+
+    def walk(index: int) -> Iterator[Placement]:
+        if index == len(modules):
+            yield Placement(
+                {module.name: choice[i] for i, module in enumerate(modules)}
+            )
+            return
+        need = modules[index].memory_bytes
+        for subset in subsets:
+            if any(residual[name] < need for name in subset):
+                continue
+            for name in subset:
+                residual[name] -= need
+            choice[index] = subset
+            yield from walk(index + 1)
+            for name in subset:
+                residual[name] += need
+
+    yield from walk(0)
+
+
+def replica_brute_force(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    max_copies: int = 2,
+    parallel: bool = True,
+    tensors: Optional[CostTensors] = None,
+) -> Tuple[Placement, float]:
+    """The replica-optimal placement by exhaustive host-set enumeration.
+
+    Scores every feasible assignment with the cheapest-replica objective
+    (``LatencyModel.replica_objective``, seconds) and returns the argmin;
+    ties break toward the lexicographically smallest assignment (the
+    enumeration order guarantees it).  The oracle the branch-and-bound is
+    verified against.
+    """
+    if not requests:
+        raise PlacementError("replica placement needs at least one request to score")
+    from repro.core.routing.latency import LatencyModel
+
+    net = network if network is not None else Network()
+    model = LatencyModel(problem, net, parallel=parallel, tensors=tensors)
+    best: Optional[Tuple[float, Placement]] = None
+    for placement in enumerate_replica_placements(problem, max_copies):
+        objective = model.replica_objective(requests, placement)
+        if best is None or objective < best[0]:
+            best = (objective, placement)
+    if best is None:
+        raise PlacementError("no memory-feasible placement exists for this instance")
+    return best[1], best[0]
+
+
+def replica_aware_greedy(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    max_copies: int = 2,
+    parallel: bool = True,
+    tensors: Optional[CostTensors] = None,
+    base: Optional[Placement] = None,
+) -> Tuple[Placement, float]:
+    """Objective-driven replication: best-improvement replica additions.
+
+    The replica-aware generalization of
+    :func:`~repro.core.placement.greedy.replicate_with_leftover`: instead
+    of copying modules onto "the fastest device with room" regardless of
+    benefit, each round prices **every** candidate replica (module not at
+    ``max_copies``, device with enough residual memory) under the
+    cheapest-replica objective and applies the one with the largest strict
+    improvement; rounds repeat until no addition helps.  Ties between
+    equally-improving candidates break toward the smallest
+    ``(objective, module name, device name)`` triple.
+
+    ``base`` seeds the search (defaults to greedy Algorithm 1's single-copy
+    placement, so the result is always at least as good as greedy).
+    Returns ``(placement, objective_seconds)`` with host tuples in sorted
+    device-name order.
+    """
+    if not requests:
+        raise PlacementError("replica placement needs at least one request to score")
+    if max_copies < 1:
+        raise ValueError(f"max_copies must be >= 1, got {max_copies}")
+    from repro.core.routing.latency import LatencyModel
+
+    net = network if network is not None else Network()
+    model = LatencyModel(problem, net, parallel=parallel, tensors=tensors)
+    current = base if base is not None else greedy_placement(problem)
+    modules = {m.name: m for m in problem.modules}
+    residual: Dict[str, int] = {d.name: d.memory_bytes for d in problem.devices}
+    for name, hosts in current.as_dict().items():
+        for host in hosts:
+            residual[host] -= modules[name].memory_bytes
+    best_objective = model.replica_objective(requests, current)
+
+    while True:
+        best_move: Optional[Tuple[float, str, str]] = None
+        for module_name in sorted(modules):
+            hosts = current.hosts(module_name)
+            if len(hosts) >= max_copies:
+                continue
+            need = modules[module_name].memory_bytes
+            for device in problem.devices:
+                if device.name in hosts or residual[device.name] < need:
+                    continue
+                candidate = current.with_extra(module_name, device.name)
+                objective = model.replica_objective(requests, candidate)
+                if objective >= best_objective:
+                    continue
+                move = (objective, module_name, device.name)
+                if best_move is None or move < best_move:
+                    best_move = move
+        if best_move is None:
+            break
+        best_objective, module_name, device_name = best_move
+        current = current.with_extra(module_name, device_name)
+        residual[device_name] -= modules[module_name].memory_bytes
+
+    canonical = Placement(
+        {name: tuple(sorted(hosts)) for name, hosts in current.as_dict().items()}
+    )
+    return canonical, best_objective
+
+
+class _ReplicaGroupBound:
+    """Admissible per-(model, source) latency bounds under partial host sets.
+
+    For a partial assignment (some modules pinned to host sets, others
+    free), each encoder path is lower-bounded by the cheapest
+    ``in + compute + out`` over its allowed (encoder host, head host)
+    pairs — the assigned sets where pinned, every memory-fitting device
+    where free — and the head by its cheapest compute over allowed hosts.
+    True replica-routed latency picks ONE combination and adds
+    non-negative queue waits, so it can only be larger; min/max/sum over
+    the same precomputed floats keep the bound monotone (IEEE-754), hence
+    admissible.  The bound is *not* exact at completion (paths are bounded
+    independently, routing is joint), so leaves are priced exactly with
+    :meth:`RequestGroup.best_hosts`.
+    """
+
+    def __init__(self, tensors: CostTensors, group: RequestGroup) -> None:
+        self.tensors = tensors
+        self.group = group
+        self.parallel = tensors.parallel
+        self.members = group.member_idx
+        self.head_idx = group.head_idx
+        head_fit = tensors.fits[group.head_idx]
+        if not head_fit.any():
+            raise PlacementError(
+                f"module {group.head_name!r} fits on no device; "
+                "apply compression or intra-module partitioning first (paper Sec. V-B)"
+            )
+        self._head_fit_idx = np.flatnonzero(head_fit)
+        self._enc_fit_idx: List[np.ndarray] = []
+        for e, idx in enumerate(group.encoder_idx):
+            fit = tensors.fits[idx]
+            if not fit.any():
+                raise PlacementError(
+                    f"module {group.encoder_names[e]!r} fits on no device; "
+                    "apply compression or intra-module partitioning first (paper Sec. V-B)"
+                )
+            self._enc_fit_idx.append(np.flatnonzero(fit))
+
+    def lower_bound(self, sets: List[Optional[Tuple[int, ...]]]) -> float:
+        """Scalar bound (seconds) for the current partial assignment.
+
+        Exploits the structure of cheapest-replica routing: *given* the
+        head host, encoder paths choose their replicas independently, so
+        ``min over nh of [stage(nh) + head(nh)]`` with ``stage(nh)`` the
+        per-head-host max (or sum) of each path's cheapest replica is the
+        exact waits-free relaxation — far tighter than bounding every path
+        over all (encoder, head) pairs at once.  Queue waits are
+        non-negative, so the relaxation never exceeds the true value.
+        """
+        group = self.group
+        head_allowed = sets[self.head_idx]
+        nh = (
+            np.asarray(head_allowed, dtype=np.int64)
+            if head_allowed is not None
+            else self._head_fit_idx
+        )
+        stage: Optional[np.ndarray] = None
+        for e, idx in enumerate(group.encoder_idx):
+            enc_allowed = sets[idx]
+            ne = (
+                np.asarray(enc_allowed, dtype=np.int64)
+                if enc_allowed is not None
+                else self._enc_fit_idx[e]
+            )
+            A = group.in_comm[e][ne] + group.enc_comp[e][ne]
+            best_per_head = np.min(A[:, None] + group.out[e][np.ix_(ne, nh)], axis=0)
+            if stage is None:
+                stage = best_per_head
+            elif self.parallel:
+                stage = np.maximum(stage, best_per_head)
+            else:
+                stage = stage + best_per_head
+        totals = group.head_comp[nh] if stage is None else stage + group.head_comp[nh]
+        return float(np.min(totals))
+
+    def exact(self, sets: List[Optional[Tuple[int, ...]]]) -> float:
+        """True class latency (seconds) once every member set is assigned."""
+        candidates = [list(sets[idx]) for idx in self.members]  # type: ignore[arg-type]
+        return self.group.best_hosts(self.tensors, candidates)[0]
+
+
+class _ReplicaSearch:
+    """Shared state for both phases of the replica branch-and-bound."""
+
+    def __init__(
+        self,
+        tensors: CostTensors,
+        requests: Sequence[InferenceRequest],
+        max_copies: int,
+    ) -> None:
+        self.tensors = tensors
+        self.max_copies = max_copies
+        self.n_modules = tensors.n_modules
+        self.n_devices = tensors.n_devices
+        self.memory = [int(b) for b in tensors.memory]
+        self.residual = [int(b) for b in tensors.capacity]
+        #: Per-module assigned host set (device indices, name-sorted) or None.
+        self.sets: List[Optional[Tuple[int, ...]]] = [None] * self.n_modules
+
+        # Candidate subsets per module: device-index tuples in the brute
+        # enumeration's lexicographic *name* order (host_subsets is the
+        # single source of that order — the bnb==brute tie-break contract
+        # depends on both walking candidates identically), filtered to
+        # devices the module fits on outright (residual pruning per node).
+        index_of_device = {name: n for n, name in enumerate(tensors.device_names)}
+        self.subsets_of: List[List[Tuple[int, ...]]] = []
+        for m in range(self.n_modules):
+            fitting = [
+                tensors.device_names[n]
+                for n in range(self.n_devices)
+                if tensors.fits[m, n]
+            ]
+            self.subsets_of.append(
+                [
+                    tuple(index_of_device[name] for name in subset)
+                    for subset in host_subsets(fitting, max_copies)
+                ]
+                if fitting
+                else []
+            )
+
+        self.groups: List[RequestGroup] = []
+        self.bounds: List[_ReplicaGroupBound] = []
+        self.group_of_request: List[int] = []
+        index_of: Dict[Tuple[int, str], int] = {}
+        for request in requests:
+            key = (id(request.model), request.source)
+            if key not in index_of:
+                index_of[key] = len(self.groups)
+                group = tensors.group(request.model, request.source)
+                self.groups.append(group)
+                self.bounds.append(_ReplicaGroupBound(tensors, group))
+            self.group_of_request.append(index_of[key])
+        self.groups_using: List[List[int]] = [[] for _ in range(self.n_modules)]
+        for g, group in enumerate(self.groups):
+            for idx in group.member_idx:
+                self.groups_using[idx].append(g)
+        self.group_lb = [bound.lower_bound(self.sets) for bound in self.bounds]
+
+    # ------------------------------------------------------------------
+    def feasible_subsets(self, m: int) -> List[Tuple[int, ...]]:
+        """Candidate host sets for module ``m`` under the current residuals."""
+        need = self.memory[m]
+        return [
+            subset
+            for subset in self.subsets_of[m]
+            if all(self.residual[n] >= need for n in subset)
+        ]
+
+    def descend(self, m: int, subset: Tuple[int, ...]) -> List[Tuple[int, float]]:
+        self.sets[m] = subset
+        for n in subset:
+            self.residual[n] -= self.memory[m]
+        saved = [(g, self.group_lb[g]) for g in self.groups_using[m]]
+        for g in self.groups_using[m]:
+            bound = self.bounds[g]
+            if all(self.sets[idx] is not None for idx in bound.members):
+                self.group_lb[g] = bound.exact(self.sets)
+            else:
+                self.group_lb[g] = bound.lower_bound(self.sets)
+        return saved
+
+    def ascend(self, m: int, subset: Tuple[int, ...], saved: List[Tuple[int, float]]) -> None:
+        for g, value in saved:
+            self.group_lb[g] = value
+        for n in subset:
+            self.residual[n] += self.memory[m]
+        self.sets[m] = None
+
+    def total_bound(self) -> float:
+        """Fanned per-request bound (exact at leaves, request-order sum)."""
+        total = 0.0
+        for g in self.group_of_request:
+            total = total + self.group_lb[g]
+        return float(total)
+
+    def placement(self) -> Placement:
+        names = self.tensors.device_names
+        return Placement(
+            {
+                self.tensors.module_names[m]: tuple(
+                    sorted(names[n] for n in self.sets[m])  # type: ignore[union-attr]
+                )
+                for m in range(self.n_modules)
+            }
+        )
+
+
+def replica_branch_and_bound(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    max_copies: int = 2,
+    parallel: bool = True,
+    tensors: Optional[CostTensors] = None,
+) -> Tuple[Placement, float]:
+    """The replica-optimal placement and objective, beyond brute's cap.
+
+    Searches host-set space (1..``max_copies`` devices per module under
+    Eq. 4d memory) with admissible per-class bounds and returns **the
+    identical placement, objective (seconds), and tie-break** as
+    :func:`replica_brute_force` — two phases, like the single-copy
+    branch-and-bound: a value search pruning ``bound >= best`` (the
+    incumbent is always attained, so ties cannot strictly improve), then a
+    tie-break walk in brute's enumeration order pruning ``bound > V`` that
+    stops at the first leaf attaining V.
+    """
+    if not requests:
+        raise PlacementError("replica placement needs at least one request to score")
+    if max_copies < 1:
+        raise ValueError(f"max_copies must be >= 1, got {max_copies}")
+    net = network if network is not None else Network()
+    if net.has_jitter:
+        raise PlacementError(
+            "replica branch-and-bound prices through cached cost tensors, "
+            "which would freeze the network's jitter hook; clear the jitter "
+            "or use replica_optimal_placement(..., solver='brute')"
+        )
+    if tensors is None:
+        tensors = CostTensors(problem, net, parallel=parallel)
+    else:
+        tensors.check_compatible(problem, net, parallel)
+    search = _ReplicaSearch(tensors, requests, max_copies)
+
+    # Branching order: heads first (they pin every path's output endpoint),
+    # then by descending memory (big modules constrain residuals most).
+    head_modules = {g.head_idx for g in search.groups}
+
+    def value_order_key(m: int) -> Tuple[int, int, int, str]:
+        unused = 0 if search.groups_using[m] else 1
+        is_head = 0 if m in head_modules else 1
+        return (unused, is_head, -search.memory[m], tensors.module_names[m])
+
+    value_order = sorted(range(search.n_modules), key=value_order_key)
+
+    # Attained incumbent: the replica-aware greedy (always a member of the
+    # search space: <= max_copies sorted host tuples, memory-feasible).
+    best_value = float("inf")
+    try:
+        _, best_value = replica_aware_greedy(
+            problem, requests, network=net, max_copies=max_copies,
+            parallel=parallel, tensors=tensors,
+        )
+    except PlacementError:
+        pass
+
+    def value_dfs(depth: int) -> None:
+        nonlocal best_value
+        m = value_order[depth]
+        scored = []
+        for subset in search.feasible_subsets(m):
+            saved = search.descend(m, subset)
+            bound = search.total_bound()
+            search.ascend(m, subset, saved)
+            if bound < best_value:
+                scored.append((bound, subset))
+        scored.sort(key=lambda item: item[0])
+        for bound, subset in scored:
+            if bound >= best_value:
+                continue  # the incumbent moved since scoring
+            saved = search.descend(m, subset)
+            if depth + 1 == search.n_modules:
+                objective = search.total_bound()  # exact: all groups complete
+                if objective < best_value:
+                    best_value = objective
+            else:
+                value_dfs(depth + 1)
+            search.ascend(m, subset, saved)
+
+    value_dfs(0)
+    if best_value == float("inf"):
+        raise PlacementError("no memory-feasible placement exists for this instance")
+
+    tie_order = sorted(range(search.n_modules), key=lambda m: tensors.module_names[m])
+
+    def tie_dfs(depth: int) -> Optional[Placement]:
+        m = tie_order[depth]
+        for subset in search.feasible_subsets(m):
+            saved = search.descend(m, subset)
+            if search.total_bound() > best_value:
+                search.ascend(m, subset, saved)
+                continue
+            if depth + 1 == search.n_modules:
+                if search.total_bound() == best_value:
+                    winner = search.placement()
+                    search.ascend(m, subset, saved)
+                    return winner
+            else:
+                winner = tie_dfs(depth + 1)
+                if winner is not None:
+                    search.ascend(m, subset, saved)
+                    return winner
+            search.ascend(m, subset, saved)
+        return None
+
+    winner = tie_dfs(0)
+    if winner is None:  # pragma: no cover - phase 1 proved V is attained
+        raise PlacementError("no memory-feasible placement exists for this instance")
+    return winner, best_value
+
+
+def replica_optimal_placement(
+    problem: PlacementProblem,
+    requests: Sequence[InferenceRequest],
+    network: Optional[Network] = None,
+    max_copies: int = 2,
+    parallel: bool = True,
+    solver: str = "auto",
+    tensors: Optional[CostTensors] = None,
+) -> Tuple[Placement, float]:
+    """The replica-optimal placement and its objective (seconds).
+
+    The replica-set counterpart of
+    :func:`~repro.core.placement.optimal.optimal_placement`: jointly
+    chooses a host set of 1..``max_copies`` devices per module, minimizing
+    total cheapest-replica latency under per-device memory.  Identical
+    results under every ``solver`` (``"auto"``/``"bnb"`` run the
+    branch-and-bound, ``"brute"`` exhaustive enumeration capped at
+    :data:`MAX_REPLICA_ASSIGNMENTS`); ties break toward the
+    lexicographically smallest assignment.  ``solver="auto"`` dispatches
+    jittered networks to brute force, whose scalar pricing honors the
+    jitter hook.
+    """
+    if solver not in REPLICA_SOLVERS:
+        raise ValueError(f"solver must be one of {REPLICA_SOLVERS}, got {solver!r}")
+    if solver == "auto" and network is not None and network.has_jitter:
+        solver = "brute"
+    if solver in ("auto", "bnb"):
+        return replica_branch_and_bound(
+            problem, requests, network=network, max_copies=max_copies,
+            parallel=parallel, tensors=tensors,
+        )
+    return replica_brute_force(
+        problem, requests, network=network, max_copies=max_copies,
+        parallel=parallel, tensors=tensors,
+    )

@@ -32,6 +32,7 @@ jitter draw.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,6 +82,7 @@ class RequestGroup:
     __slots__ = (
         "model", "source", "encoder_names", "head_name",
         "encoder_idx", "head_idx", "in_comm", "enc_comp", "head_comp", "out",
+        "_members", "_member_pos",
     )
 
     def __init__(self, tensors: "CostTensors", model: ModelSpec, source: str) -> None:
@@ -100,6 +102,12 @@ class RequestGroup:
             payload = model.payload_bytes(modality)
             self.in_comm.append(tensors.in_comm(source, payload))
         self.out = [tensors.out_comm(idx) for idx in self.encoder_idx]
+        members: List[int] = []
+        for idx in list(self.encoder_idx) + [self.head_idx]:
+            if idx not in members:
+                members.append(idx)
+        self._members = members
+        self._member_pos = {idx: i for i, idx in enumerate(members)}
 
     def total(self, tensors: "CostTensors", enc_hosts: Sequence[int], head_host: int) -> float:
         """Eq. 1-3 latency with encoders on ``enc_hosts`` and the head on
@@ -127,6 +135,45 @@ class RequestGroup:
         return self.total(
             tensors, [assign[i] for i in self.encoder_idx], assign[self.head_idx]
         )
+
+    @property
+    def member_idx(self) -> List[int]:
+        """Distinct member module indices, encoders first (in path order),
+        then the head — the enumeration axis of replica routing.  Cached at
+        construction (``best_hosts`` sits in the solvers' leaf loop)."""
+        return self._members
+
+    def best_hosts(
+        self,
+        tensors: "CostTensors",
+        candidates: Sequence[Sequence[int]],
+    ) -> Tuple[float, Tuple[int, ...]]:
+        """Cheapest-replica routing: the joint minimum of Eq. 1-3 over every
+        combination of hosts drawn from per-module candidate sets.
+
+        ``candidates[i]`` lists the allowed device indices for member module
+        ``member_idx[i]``.  Combinations are enumerated in lexicographic
+        order over the given candidate order, and only a **strictly**
+        smaller total replaces the incumbent — so when callers pass
+        candidates in sorted-device-name order, ties break toward the
+        lexicographically-smallest host combination.  Each combination is
+        priced with :meth:`total` (bit-identical to the scalar breakdown).
+
+        Returns ``(total_seconds, chosen)`` with ``chosen[i]`` the device
+        index picked for member ``i``.
+        """
+        position = self._member_pos
+        best_total = float("inf")
+        best_combo: Optional[Tuple[int, ...]] = None
+        for combo in itertools.product(*candidates):
+            enc_hosts = [combo[position[idx]] for idx in self.encoder_idx]
+            head_host = combo[position[self.head_idx]]
+            value = self.total(tensors, enc_hosts, head_host)
+            if best_combo is None or value < best_total:
+                best_total = value
+                best_combo = tuple(combo)
+        assert best_combo is not None, "candidates must be non-empty"
+        return best_total, best_combo
 
 
 class CostTensors:
@@ -336,6 +383,71 @@ class CostTensors:
             value = cache.get(key)
             if value is None:
                 value = self.total_latency(request, placement)
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+    # ------------------------------------------------------------------
+    # Cheapest-replica routing (the replica solvers' pricing rule)
+    # ------------------------------------------------------------------
+    def _replica_best(
+        self, request: InferenceRequest, placement: Placement
+    ) -> Tuple[float, Dict[str, str]]:
+        """Joint cheapest-replica routing for one request.
+
+        Unlike Eq. 7 (fastest *compute* host per module, which picks the
+        same replica for every request), this minimizes the request's full
+        Eq. 1-3 latency — input transfer + compute + embedding shipping —
+        over every combination of hosts, so requests from different sources
+        spread across replicas.  Ties break toward the lexicographically
+        smallest host combination (members in encoders-then-head order,
+        candidates in sorted device-name order).
+        """
+        group = self.group(request.model, request.source)
+        members = group.member_idx
+        candidates: List[List[int]] = []
+        comp = self.model_compute(request.model)
+        for idx in members:
+            name = self.modules[idx].name
+            hosts = placement.hosts(name)
+            if not hosts:
+                raise RoutingError(f"module {name!r} has no hosts")
+            ordered = sorted(hosts)
+            row = comp[idx]
+            for device in ordered:
+                # Surface the scalar path's missing-throughput error.
+                self._checked(request.model, row, idx, self.device_idx(device))
+            candidates.append([self.device_idx(device) for device in ordered])
+        total, combo = group.best_hosts(self, candidates)
+        hosts_map = {
+            self.modules[idx].name: self.device_names[combo[i]]
+            for i, idx in enumerate(members)
+        }
+        return total, hosts_map
+
+    def replica_route_hosts(self, request: InferenceRequest, placement: Placement) -> Dict[str, str]:
+        """Cheapest-replica hosts for ``request`` (see :meth:`_replica_best`)."""
+        return self._replica_best(request, placement)[1]
+
+    def replica_total_latency(self, request: InferenceRequest, placement: Placement) -> float:
+        """Single-request Eq. 1 latency under cheapest-replica routing."""
+        return self._replica_best(request, placement)[0]
+
+    def replica_objective(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Total latency under cheapest-replica routing, in request order.
+
+        The replica-aware counterpart of :meth:`objective` — the objective
+        the solvers in :mod:`repro.core.placement.replicas` minimize.
+        Per-(model, source) classes are priced once and fanned out in
+        request order, so the float result matches the scalar ``sum``.
+        """
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                value = self.replica_total_latency(request, placement)
                 cache[key] = value
             total = total + value
         return float(total)

@@ -15,9 +15,10 @@ and network oracles, so they agree on an idle cluster.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
@@ -203,6 +204,83 @@ class LatencyModel:
                 ),
             )
         return RoutingDecision(request=request, hosts=hosts)
+
+    # ------------------------------------------------------------------
+    # Cheapest-replica routing (transfer-aware; the replica solvers' rule)
+    # ------------------------------------------------------------------
+    def _replica_best_scalar(
+        self, request: InferenceRequest, placement: Placement
+    ) -> Tuple[float, RoutingDecision]:
+        """Reference cheapest-replica routing: joint min of Eq. 1-3 latency.
+
+        Eq. 7 routes every module to its fastest *compute* host, which is
+        the same device for every request — replicas never change it.  The
+        replica rule instead minimizes the request's full latency (input
+        transfer + compute + embedding shipping) over every combination of
+        hosts drawn from each module's replica set, so requests from
+        different sources pick different replicas.  Ties break toward the
+        lexicographically smallest host combination (modules in
+        encoders-then-head order, hosts in sorted device-name order) —
+        identical to the tensorized path, property-tested with ``==``.
+        """
+        members: List[str] = []
+        for name in request.model.module_names:
+            if name not in members:
+                members.append(name)
+        candidate_lists: List[List[str]] = []
+        for name in members:
+            hosts = placement.hosts(name)
+            if not hosts:
+                raise RoutingError(f"module {name!r} has no hosts")
+            candidate_lists.append(sorted(hosts))
+        best: Optional[Tuple[float, RoutingDecision]] = None
+        for combo in itertools.product(*candidate_lists):
+            decision = RoutingDecision(request=request, hosts=dict(zip(members, combo)))
+            total = self._breakdown(
+                request, placement, decision, self.compute_seconds_scalar
+            ).total
+            if best is None or total < best[0]:
+                best = (total, decision)
+        assert best is not None  # candidate_lists are all non-empty
+        return best
+
+    def replica_route(self, request: InferenceRequest, placement: Placement) -> RoutingDecision:
+        """Cheapest-replica hosts for one request (see `_replica_best_scalar`)."""
+        tensors = self.tensors
+        if tensors is not None:
+            return RoutingDecision(
+                request=request, hosts=tensors.replica_route_hosts(request, placement)
+            )
+        return self.replica_route_scalar(request, placement)
+
+    def replica_route_scalar(self, request: InferenceRequest, placement: Placement) -> RoutingDecision:
+        """Reference cheapest-replica routing (no tensor cache)."""
+        return self._replica_best_scalar(request, placement)[1]
+
+    def replica_total_latency(self, request: InferenceRequest, placement: Placement) -> float:
+        """``t_total`` (seconds) under cheapest-replica routing."""
+        tensors = self.tensors
+        if tensors is not None:
+            return tensors.replica_total_latency(request, placement)
+        return self.replica_total_latency_scalar(request, placement)
+
+    def replica_total_latency_scalar(self, request: InferenceRequest, placement: Placement) -> float:
+        """Reference scalar ``t_total`` under cheapest-replica routing."""
+        return self._replica_best_scalar(request, placement)[0]
+
+    def replica_objective(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Total latency (seconds) over ``requests`` under cheapest-replica
+        routing — the objective the replica-aware solvers minimize."""
+        tensors = self.tensors
+        if tensors is not None:
+            return tensors.replica_objective(requests, placement)
+        return self.replica_objective_scalar(requests, placement)
+
+    def replica_objective_scalar(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Reference scalar replica objective: per-request loops, no tensors."""
+        return sum(
+            self.replica_total_latency_scalar(request, placement) for request in requests
+        )
 
     # ------------------------------------------------------------------
     # Eq. 1-3

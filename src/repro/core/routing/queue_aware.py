@@ -57,7 +57,16 @@ class QueueAwareRouter:
         self._reservations: Dict[str, Tuple[float, float]] = {}
 
     def reserved_seconds(self, device_name: str) -> float:
-        """Undrained service-seconds still reserved against ``device_name``."""
+        """Undrained service-**seconds** still reserved against ``device_name``.
+
+        The leaky-bucket read: the device's outstanding reservation ledger
+        is first drained at the device's slot capacity (service-seconds per
+        simulated second) for the interval since the last read, clamped at
+        zero, then persisted — so this method both *reports* and *advances*
+        the bucket.  Within one simulated instant (a simultaneous burst)
+        nothing drains; reading an idle device after a long gap returns 0.
+        Unknown devices (never reserved against) return 0.0.
+        """
         state = self._reservations.get(device_name)
         if state is None:
             return 0.0
@@ -68,8 +77,23 @@ class QueueAwareRouter:
         self._reservations[device_name] = (now, outstanding)
         return outstanding
 
+    def reserve(self, device_name: str, service_seconds: float) -> None:
+        """Reserve ``service_seconds`` of work against ``device_name``.
+
+        Drains the bucket to *now* first, then adds the new reservation —
+        the bookkeeping step of routing a module somewhere.
+        """
+        outstanding = self.reserved_seconds(device_name)
+        self._reservations[device_name] = (
+            self.cluster.sim.now, outstanding + service_seconds
+        )
+
     def estimated_wait(self, device_name: str, service_seconds: float) -> float:
-        """Expected queueing delay on ``device_name`` for a new arrival."""
+        """Expected queueing delay (**seconds**) for a new arrival needing
+        ``service_seconds`` of service on ``device_name``: live occupancy
+        (busy slots + queued jobs, each costed at this request's service
+        time) plus the undrained reservation ledger, both divided by the
+        device's slot capacity."""
         device = self.cluster.device(device_name)
         outstanding = device.slots.in_use + device.slots.queue_length
         live_wait = outstanding / device.slots.capacity * service_seconds
@@ -77,6 +101,13 @@ class QueueAwareRouter:
         return live_wait + reserved
 
     def __call__(self, request: InferenceRequest) -> RoutingDecision:
+        """Route every module of ``request`` to its cheapest replica by
+        ``service + estimated wait`` (seconds), reserving the routed work.
+
+        All hosts of a module are priced; ties break toward the smaller
+        (score, device name) pair, so equal-cost replicas resolve
+        deterministically by name.
+        """
         hosts: Dict[str, str] = {}
         for module_name in request.model.module_names:
             candidates = self.placement.hosts(module_name)
@@ -87,7 +118,5 @@ class QueueAwareRouter:
                 scored.append((service + wait, device_name, service))
             _, chosen, service = min(scored)
             hosts[module_name] = chosen
-            # Drain the bucket to `now` first, then add the new reservation.
-            outstanding = self.reserved_seconds(chosen)
-            self._reservations[chosen] = (self.cluster.sim.now, outstanding + service)
+            self.reserve(chosen, service)
         return RoutingDecision(request=request, hosts=hosts)

@@ -34,6 +34,7 @@ from repro.serving.report import (
     EnergyReport,
     MigrationRecord,
     RequestRecord,
+    ScalingRecord,
     ServingReport,
 )
 from repro.serving.runtime import ServingRuntime, StreamingQueueAwareRouter
@@ -51,6 +52,7 @@ __all__ = [
     "RECOVER",
     "MigrationRecord",
     "RequestRecord",
+    "ScalingRecord",
     "SLOPolicy",
     "ServingReport",
     "ServingRuntime",

@@ -69,6 +69,27 @@ class ChurnRecord:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class ScalingRecord:
+    """One autoscaler decision: add or drop a replica of one module.
+
+    ``time`` is when the action was *decided* (seconds of simulated time);
+    an ``add`` takes effect ``cost_s`` seconds later, once the module's
+    weights have loaded on the new host (the same switching-cost accounting
+    as churn migrations — drops are free).  ``applied`` is False when the
+    action was decided but aborted at apply time (the candidate device
+    failed or ran out of memory during the load window).
+    """
+
+    time: float
+    action: str      # "add" / "drop"
+    module: str
+    device: str
+    cost_s: float
+    applied: bool
+    detail: str = ""
+
+
 def merged_busy_seconds(intervals, horizon_s: float) -> float:
     """Total length of the union of ``(start, end)`` intervals, clipped to
     ``[0, horizon_s]``.
@@ -162,6 +183,7 @@ class ServingReport:
     latency: LatencySummary
     migrations: Tuple[MigrationRecord, ...] = ()
     churn: Tuple[ChurnRecord, ...] = ()
+    scaling: Tuple[ScalingRecord, ...] = ()
     records: Tuple[RequestRecord, ...] = field(default=(), repr=False)
     energy: Optional[EnergyReport] = None
 
@@ -258,6 +280,18 @@ class ServingReport:
                     f"    t={migration.time:7.2f}s cost={migration.switching_cost_s:.2f}s "
                     f"{migration.reason}"
                 )
+        if self.scaling:
+            applied = sum(1 for record in self.scaling if record.applied)
+            lines.append(
+                f"  autoscaling:     {applied} applied, {len(self.scaling) - applied} aborted"
+            )
+            for record in self.scaling:
+                mark = record.action if record.applied else f"{record.action} ABORTED"
+                suffix = f" ({record.detail})" if record.detail else ""
+                lines.append(
+                    f"    t={record.time:7.2f}s {mark:12s} {record.module} @ {record.device} "
+                    f"cost={record.cost_s:.2f}s{suffix}"
+                )
         if show_energy and self.energy is not None:
             e = self.energy
             lines.append(
@@ -285,6 +319,7 @@ def build_report(
     migrations: List[MigrationRecord],
     churn: List[ChurnRecord],
     energy: Optional[EnergyReport] = None,
+    scaling: Optional[List[ScalingRecord]] = None,
 ) -> ServingReport:
     """Assemble the aggregate report, enforcing request conservation."""
     unresolved = [r for r in records if not r.completed and r.rejected_reason is None]
@@ -313,6 +348,7 @@ def build_report(
         latency=summarize_latencies(latencies, makespan=makespan),
         migrations=tuple(migrations),
         churn=tuple(churn),
+        scaling=tuple(scaling or ()),
         records=tuple(records),
         energy=energy,
     )

@@ -61,6 +61,7 @@ from repro.serving.report import (
     EnergyReport,
     MigrationRecord,
     RequestRecord,
+    ScalingRecord,
     ServingReport,
     build_report,
     merged_busy_seconds,
@@ -75,12 +76,24 @@ from repro.utils.errors import PlacementError
 class StreamingQueueAwareRouter(QueueAwareRouter):
     """Queue-aware routing for a live stream.
 
-    Extends the burst router with two stream-specific signals: candidates
-    are filtered to the *live* device set (churn-aware), and the wait
-    estimate adds the micro-batcher's queued-but-unstarted backlog (in
-    service-seconds) instead of the burst router's time-decaying
-    reservations — the batcher's backlog ledger is exact for a stream,
-    while reservations only *estimate* how fast routed work drains.
+    Extends the burst router with three stream-specific signals, so every
+    replica of a module is priced by a reservation-aware cost:
+
+    - candidates are filtered to the *live* device set (churn-aware);
+    - the wait estimate adds the micro-batcher's queued-but-unstarted
+      backlog (in service-seconds) — the exact ledger of routed work that
+      has already reached a queue;
+    - it keeps an exact ledger of **in-flight reservations** for work that
+      has been *routed but not yet enqueued* (crossing the uplink between
+      routing and the micro-batcher).  Without them, a burst of
+      simultaneous arrivals all route before any queue forms and pile onto
+      the single cheapest replica.  Unlike the burst router's time-decaying
+      bucket, streaming reservations do not decay: each one is released
+      exactly when its job lands in a queue and the backlog ledger takes
+      over, so decay would only double-drain the estimate.
+
+    Ties break toward the smaller (score, device name) pair — equal-cost
+    replicas resolve deterministically by name.
     """
 
     def __init__(self, cluster, latency_model, placement, live: Set[str], backlog: Dict[str, float]) -> None:
@@ -88,16 +101,55 @@ class StreamingQueueAwareRouter(QueueAwareRouter):
         self._live = live
         self._backlog = backlog
 
+    def reserved_seconds(self, device_name: str) -> float:
+        """In-flight reserved service-**seconds** against ``device_name``.
+
+        Overrides the burst router's leaky-bucket read with an **exact**
+        ledger: every streaming reservation is released the moment its job
+        reaches a micro-batch queue (the runtime's ``_enqueue``), so
+        nothing should decay in between — time-decaying here *and*
+        releasing the full amount later would double-drain the shared
+        bucket and under-report work still crossing the uplink.
+        """
+        state = self._reservations.get(device_name)
+        return state[1] if state is not None else 0.0
+
     def estimated_wait(self, device_name: str, service_seconds: float) -> float:
-        """Expected queueing delay (s) for a new arrival on ``device_name``."""
+        """Expected queueing delay (**seconds**) for a new arrival needing
+        ``service_seconds`` on ``device_name``: live slot occupancy, plus
+        the micro-batch backlog, plus in-flight reservations."""
         device = self.cluster.device(device_name)
         outstanding = device.slots.in_use + device.slots.queue_length
         live_wait = outstanding / device.slots.capacity * service_seconds
         backlog = self._backlog.get(device_name, 0.0) / device.slots.capacity
-        return live_wait + backlog
+        reserved = self.reserved_seconds(device_name) / device.slots.capacity
+        return live_wait + backlog + reserved
 
-    def route_module(self, request: InferenceRequest, module_name: str) -> Optional[str]:
-        """Best live host for one module, or None while none is live."""
+    def release(self, device_name: str, service_seconds: float) -> None:
+        """Release an in-flight reservation: the routed work reached a
+        micro-batch queue, so the backlog ledger now accounts for it.
+
+        Residues below a nanosecond snap to exactly 0.0: the ledger is a
+        float sum of reserve/release pairs, and IEEE-754 subtraction can
+        leave ~1e-17 remainders that would otherwise read as "work still
+        in flight" forever (the scale-down eligibility check compares
+        against zero).
+        """
+        outstanding = self.reserved_seconds(device_name) - service_seconds
+        if outstanding < 1e-9:
+            outstanding = 0.0
+        self._reservations[device_name] = (self.cluster.sim.now, outstanding)
+
+    def route_module(
+        self, request: InferenceRequest, module_name: str, reserve: bool = False
+    ) -> Optional[str]:
+        """Best live host for one module, or None while none is live.
+
+        With ``reserve=True`` (the actual routing step, not a what-if
+        estimate) the chosen host is charged an in-flight reservation for
+        the module's service seconds; the caller must :meth:`release` it
+        when the job is enqueued (the runtime does this in ``_enqueue``).
+        """
         candidates = [
             device_name
             for device_name in self.placement.hosts(module_name)
@@ -109,10 +161,18 @@ class StreamingQueueAwareRouter(QueueAwareRouter):
         for device_name in candidates:
             service = self.latency_model.compute_seconds(request, module_name, device_name)
             wait = self.estimated_wait(device_name, service)
-            scored.append((service + wait, device_name))
-        return min(scored)[1]
+            scored.append((service + wait, device_name, service))
+        _, chosen, service = min(scored)
+        if reserve:
+            self.reserve(chosen, service)
+        return chosen
 
     def __call__(self, request: InferenceRequest) -> Optional[RoutingDecision]:
+        """A what-if routing of the whole request (admission pricing).
+
+        Never reserves — admission control must not poison the wait
+        estimates of requests it ends up rejecting.
+        """
         hosts: Dict[str, str] = {}
         for module_name in request.model.module_names:
             host = self.route_module(request, module_name)
@@ -151,6 +211,34 @@ class ServingRuntime:
             requests (see :class:`AdaptivePlacementController`).
         recent_window: How many recently admitted requests price a candidate
             re-placement (falls back to one request per model when empty).
+        autoscale: Run the serving-layer replica autoscaler: a periodic
+            control loop (every ``autoscale_interval_s`` simulated seconds)
+            that **adds** a replica of any module whose queued-but-unstarted
+            backlog exceeds ``scale_up_backlog_s`` service-seconds per slot
+            of its live hosts — charging the module's load time as a
+            switching cost before the new copy serves, exactly like churn
+            migrations — and **drops** an idle surplus replica after
+            ``scale_down_idle_rounds`` consecutive zero-backlog rounds
+            (drops are free: unloading is instant and only queried-empty
+            hosts are eligible, so no queued work is lost and the
+            conservation guarantee is untouched).  Decisions are logged as
+            :class:`~repro.serving.report.ScalingRecord` entries in
+            ``ServingReport.scaling``.
+        autoscale_interval_s: Control-loop period in **seconds** of
+            simulated time.
+        scale_up_backlog_s: Scale-up threshold in queued service-**seconds**
+            per live slot; ``None`` derives it from the SLO policy as
+            ``0.5 * slo.floor_s`` (scale out before queueing alone eats
+            half the deadline floor).
+        scale_down_idle_rounds: Consecutive idle control rounds before a
+            surplus replica is dropped.
+        scale_up_speed_ratio: Candidate-device guard (dimensionless): a new
+            replica's planning compute time may be at most this multiple of
+            the module's fastest live host.  Keeps an overload from scaling
+            a heavy encoder onto a pathologically slow device whose long
+            services then dominate the tail.
+        max_replicas: Upper bound on a module's host-set size (memory
+            guard; counts failed hosts too — their weights stay resident).
         track_energy: Account per-device energy during the run (see
             :class:`~repro.serving.report.EnergyReport`): active joules over
             the union of compute/head spans, idle joules (``idle_watts``)
@@ -177,6 +265,12 @@ class ServingRuntime:
         replicate: bool = True,
         adapt_expected_requests: int = 20,
         recent_window: int = 32,
+        autoscale: bool = False,
+        autoscale_interval_s: float = 0.5,
+        scale_up_backlog_s: Optional[float] = None,
+        scale_down_idle_rounds: int = 6,
+        scale_up_speed_ratio: float = 3.0,
+        max_replicas: int = 3,
         track_energy: bool = True,
     ) -> None:
         if not models:
@@ -185,6 +279,16 @@ class ServingRuntime:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if batch_window_s < 0:
             raise ValueError(f"batch_window_s must be non-negative, got {batch_window_s}")
+        if autoscale_interval_s <= 0:
+            raise ValueError(f"autoscale_interval_s must be positive, got {autoscale_interval_s}")
+        if scale_up_backlog_s is not None and scale_up_backlog_s <= 0:
+            raise ValueError(f"scale_up_backlog_s must be positive, got {scale_up_backlog_s}")
+        if scale_down_idle_rounds < 1:
+            raise ValueError(f"scale_down_idle_rounds must be >= 1, got {scale_down_idle_rounds}")
+        if scale_up_speed_ratio < 1:
+            raise ValueError(f"scale_up_speed_ratio must be >= 1, got {scale_up_speed_ratio}")
+        if max_replicas < 1:
+            raise ValueError(f"max_replicas must be >= 1, got {max_replicas}")
         self.models = list(models)
         self.device_names = list(device_names) if device_names is not None else edge_device_names()
         self.requester = requester
@@ -194,6 +298,19 @@ class ServingRuntime:
         self.replicate = replicate
         self.adapt_expected_requests = adapt_expected_requests
         self.recent_window = recent_window
+        self.autoscale = autoscale
+        self.autoscale_interval_s = autoscale_interval_s
+        if scale_up_backlog_s is not None:
+            self.scale_up_backlog_s = scale_up_backlog_s
+        else:
+            # SLOPolicy allows floor_s == 0; keep the derived threshold
+            # positive (the constructor's invariant) with a 0.5 s fallback
+            # so zero-floor policies don't scale out on microscopic backlog.
+            derived = 0.5 * self.slo.floor_s
+            self.scale_up_backlog_s = derived if derived > 0 else 0.5
+        self.scale_down_idle_rounds = scale_down_idle_rounds
+        self.scale_up_speed_ratio = scale_up_speed_ratio
+        self.max_replicas = max_replicas
         self.track_energy = track_energy
 
     # ==================================================================
@@ -236,6 +353,9 @@ class ServingRuntime:
         self._recent_requests: List[InferenceRequest] = []
         self._migrations: List[MigrationRecord] = []
         self._churn_log: List[ChurnRecord] = []
+        self._scaling_log: List[ScalingRecord] = []
+        self._pending_adds: Set[str] = set()
+        self._unresolved = len(trace.arrivals)
 
         records: List[RequestRecord] = []
         for index, arrival in enumerate(trace.arrivals):
@@ -247,6 +367,8 @@ class ServingRuntime:
         ordered_churn = sorted(churn_events, key=lambda e: (e.time, e.device))
         if ordered_churn:
             self._sim.process(self._churn_proc(ordered_churn), name="churn")
+        if self.autoscale and trace.arrivals:
+            self._sim.process(self._autoscale_proc(), name="autoscale")
         self._sim.run()
         return build_report(
             trace.kind,
@@ -256,12 +378,21 @@ class ServingRuntime:
             self._migrations,
             self._churn_log,
             energy=self._energy_report() if self.track_energy else None,
+            scaling=self._scaling_log,
         )
 
     # ==================================================================
     # Request lifecycle
     # ==================================================================
     def _request_proc(self, record: RequestRecord):
+        try:
+            yield from self._serve_one(record)
+        finally:
+            # Terminal either way (completed or rejected); the autoscaler's
+            # control loop exits once nothing is left to serve.
+            self._unresolved -= 1
+
+    def _serve_one(self, record: RequestRecord):
         sim = self._sim
         if record.arrival_time > 0:
             yield sim.timeout(record.arrival_time)
@@ -310,7 +441,7 @@ class ServingRuntime:
         sim = self._sim
         attempt = 0
         while True:
-            host = self._router.route_module(request, module_name)
+            host = self._router.route_module(request, module_name, reserve=True)
             if host is None:
                 # Wait out the migration; a new placement always arrives
                 # (stranded modules force the controller's hand).
@@ -348,7 +479,7 @@ class ServingRuntime:
         head_name = request.model.head
         attempt = 0
         while True:
-            host = self._router.route_module(request, head_name)
+            host = self._router.route_module(request, head_name, reserve=True)
             if host is None:
                 yield self._reconfigured()
                 continue
@@ -378,6 +509,9 @@ class ServingRuntime:
     def _enqueue(self, module_name: str, host: str, job: _Job) -> None:
         key = (module_name, host)
         self._queues.setdefault(key, []).append(job)
+        # The routed work is now visible as backlog; release the in-flight
+        # reservation the router took at routing time (same service value).
+        self._router.release(host, job.est_service)
         self._backlog[host] = self._backlog.get(host, 0.0) + job.est_service
         if key not in self._active_servers:
             self._active_servers.add(key)
@@ -576,6 +710,196 @@ class ServingRuntime:
     def _signal_reconfigured(self) -> None:
         event, self._reconfig_event = self._reconfig_event, self._sim.event()
         event.succeed(True)
+
+    # ==================================================================
+    # Serving-layer replica autoscaling
+    # ==================================================================
+    def _module_pressure(self, module_name: str) -> Tuple[float, float]:
+        """Queued-but-unstarted work for one module.
+
+        Returns ``(pressure, queued_seconds)``: the sum of est_service over
+        every live queue of the module (service-**seconds**), both raw and
+        divided by the total slot capacity of its live hosts.  Modules with
+        no live host report ``(0, 0)`` (churn re-placement, not the
+        autoscaler, owns that situation)."""
+        hosts = [h for h in self._placement.hosts(module_name) if h in self._live]
+        if not hosts:
+            return 0.0, 0.0
+        queued = 0.0
+        for host in hosts:
+            for job in self._queues.get((module_name, host), ()):
+                queued += job.est_service
+        capacity = sum(self._cluster.device(h).slots.capacity for h in hosts)
+        return queued / capacity, queued
+
+    def _autoscale_proc(self):
+        """The control loop: one add/drop assessment per module per round.
+
+        Runs only while requests are outstanding, so an idle tail never
+        keeps the simulator alive; modules are visited in sorted-name order
+        for determinism.  Scale-up load waits run as their **own** sim
+        processes, so a slow load never stalls the next round's pressure
+        assessment of other modules.
+        """
+        sim = self._sim
+        idle_rounds: Dict[str, int] = {}
+        while self._unresolved > 0:
+            yield sim.timeout(self.autoscale_interval_s)
+            if self._unresolved <= 0:
+                break
+            for module_name in sorted(self._engine.module_specs):
+                pressure, queued_seconds = self._module_pressure(module_name)
+                if pressure > self.scale_up_backlog_s:
+                    idle_rounds[module_name] = 0
+                    self._scale_up(module_name, pressure, queued_seconds)
+                elif pressure == 0.0:
+                    idle_rounds[module_name] = idle_rounds.get(module_name, 0) + 1
+                    if idle_rounds[module_name] >= self.scale_down_idle_rounds:
+                        self._scale_down(module_name)
+                        idle_rounds[module_name] = 0
+                else:
+                    idle_rounds[module_name] = 0
+
+    def _scale_up(self, module_name: str, pressure: float, queued_seconds: float) -> None:
+        """Decide an add for an overloaded module, charging its load time.
+
+        The candidate is the live device (not already hosting the module,
+        with the weights fitting in free memory, within the speed-ratio
+        guard) with the smallest planning compute time, name tie-break.
+        The load delay is spawned as its own sim process — the replica only
+        joins the routable set ``cost_s`` later, the control loop keeps
+        ticking meanwhile, and the decision is re-validated after the wait
+        (the device may have failed or filled up; an aborted add is logged,
+        never applied).  At most one add per module is in flight.
+        """
+        if module_name in self._pending_adds:
+            return
+        hosts = self._placement.hosts(module_name)
+        if len(hosts) >= self.max_replicas:
+            return
+        module = self._engine.module_specs[module_name]
+        problem = self._engine.problem
+        live_hosts = [h for h in hosts if h in self._live]
+        if not live_hosts:
+            return  # churn re-placement, not the autoscaler, owns this
+        fastest = min(
+            problem.compute_seconds(module, self._cluster.device(h).profile)
+            for h in live_hosts
+        )
+        candidates = [
+            name for name in self._cluster.device_names
+            if name in self._live and name not in hosts
+            and self._cluster.device(name).can_load(module)
+            and problem.compute_seconds(module, self._cluster.device(name).profile)
+            <= self.scale_up_speed_ratio * fastest
+        ]
+        if not candidates:
+            return
+        chosen = min(
+            candidates,
+            key=lambda name: (
+                problem.compute_seconds(module, self._cluster.device(name).profile),
+                name,
+            ),
+        )
+        device = self._cluster.device(chosen)
+        cost = problem.compute_model.load_seconds(module, device.profile)
+        # Amortization gate (the adaptive controller's hysteresis, scaled to
+        # the backlog): loading must cost less than the queued work it can
+        # relieve, otherwise the burst is over before the replica exists.
+        if cost > queued_seconds:
+            return
+        self._pending_adds.add(module_name)
+        detail = f"backlog {pressure:.2f}s/slot > {self.scale_up_backlog_s:.2f}s"
+        self._sim.process(
+            self._finish_scale_up(module_name, chosen, cost, detail),
+            name=f"scale-up:{module_name}@{chosen}",
+        )
+
+    def _finish_scale_up(self, module_name: str, chosen: str, cost: float, detail: str):
+        """Pay the load time, then install the replica if still valid."""
+        sim = self._sim
+        device = self._cluster.device(chosen)
+        module = self._engine.module_specs[module_name]
+        decided_at = sim.now
+        try:
+            if cost > 0:
+                yield sim.timeout(cost)
+            if (
+                chosen not in self._live
+                or not device.can_load(module)
+                or chosen in self._placement.hosts(module_name)
+                # A churn re-placement during the window may have re-grown
+                # the host set (replicate=True deployments) — re-check the
+                # cap too.
+                or len(self._placement.hosts(module_name)) >= self.max_replicas
+            ):
+                self._scaling_log.append(
+                    ScalingRecord(
+                        decided_at, "add", module_name, chosen, cost, False,
+                        "aborted: candidate failed or filled up during the load window",
+                    )
+                )
+                return
+            device.load(module)
+            self._placement = self._placement.with_extra(module_name, chosen)
+            self._router.placement = self._placement
+            self._scaling_log.append(
+                ScalingRecord(decided_at, "add", module_name, chosen, cost, True, detail)
+            )
+        finally:
+            self._pending_adds.discard(module_name)
+
+    def _scale_down(self, module_name: str) -> None:
+        """Drop one surplus idle replica (free: unloading is instant).
+
+        Only hosts with an empty micro-batch queue for the module are
+        eligible, and at least one **live** host always remains, so no
+        queued work is lost and routing never goes dark — the conservation
+        guarantee is untouched.  Among eligible hosts the slowest (largest
+        planning compute time, name tie-break) is dropped, keeping the
+        fast replicas serving.
+        """
+        hosts = self._placement.hosts(module_name)
+        live_hosts = [h for h in hosts if h in self._live]
+        if len(hosts) <= 1 or len(live_hosts) <= 1:
+            return
+        module = self._engine.module_specs[module_name]
+        problem = self._engine.problem
+        # Eligible victims have an empty micro-batch queue AND no routed
+        # work still crossing the uplink toward them (the router's exact
+        # in-flight reservation ledger) — dropping a host a job is already
+        # headed for would only force a retry and re-pay the transfer.
+        droppable = [
+            h for h in live_hosts
+            if not self._queues.get((module_name, h))
+            and self._router.reserved_seconds(h) == 0.0
+        ]
+        if not droppable:
+            return
+        # live_hosts has >= 2 members here, so dropping one victim always
+        # leaves a live host serving.
+        victim = max(
+            droppable,
+            key=lambda name: (
+                problem.compute_seconds(module, self._cluster.device(name).profile),
+                name,
+            ),
+        )
+        self._cluster.device(victim).unload(module_name)
+        self._placement = Placement(
+            {
+                name: (tuple(h for h in hs if h != victim) if name == module_name else hs)
+                for name, hs in self._placement.as_dict().items()
+            }
+        )
+        self._router.placement = self._placement
+        self._scaling_log.append(
+            ScalingRecord(
+                self._sim.now, "drop", module_name, victim, 0.0, True,
+                f"idle for {self.scale_down_idle_rounds} rounds",
+            )
+        )
 
     # ==================================================================
     # Energy accounting

@@ -128,6 +128,65 @@ class TestReplication:
         with pytest.raises(ValueError):
             replicate_with_leftover(problem, greedy_placement(problem), max_copies=0)
 
+    def test_zero_leftover_memory_blocks_weighted_replicas(self):
+        """When every device's memory is exactly consumed by the primary
+        pass, no module with actual weights can replicate (only zero-byte
+        analytic heads still fit, by definition of the memory constraint)."""
+        import dataclasses
+
+        base = problem_for(["clip-vit-b16"])
+        placement = greedy_placement(base)
+        modules = {m.name: m for m in base.modules}
+        shrunk = tuple(
+            dataclasses.replace(
+                device,
+                memory_bytes=max(1, placement.used_bytes(device.name, modules)),
+            )
+            for device in base.devices
+        )
+        tight = dataclasses.replace(base, devices=shrunk)
+        replicated = replicate_with_leftover(tight, placement)
+        for name, hosts in replicated.as_dict().items():
+            if modules[name].memory_bytes > 0:
+                assert hosts == placement.hosts(name)
+        # And memory stays respected on the shrunken devices.
+        for device in tight.devices:
+            assert replicated.used_bytes(device.name, modules) <= device.memory_bytes
+
+    def test_single_device_cannot_replicate(self):
+        """With one device there is no distinct host for a second copy —
+        replicas must land on distinct devices, so nothing changes."""
+        problem = problem_for(["clip-vit-b16"], devices=["desktop"])
+        placement = greedy_placement(problem)
+        replicated = replicate_with_leftover(problem, placement, max_copies=3)
+        assert replicated.as_dict() == placement.as_dict()
+        assert all(hosts == ("desktop",) for hosts in replicated.as_dict().values())
+
+    def test_replica_of_already_fastest_host_goes_to_next_fastest(self):
+        """The primary pass already holds the fastest host (ties aside), so
+        the replica lands on the *next* fastest device with room — never a
+        duplicate of the existing host."""
+        problem = problem_for(["clip-vit-b16"])
+        placement = greedy_placement(problem)
+        replicated = replicate_with_leftover(problem, placement, max_copies=2)
+        for name, hosts in replicated.as_dict().items():
+            if len(hosts) < 2:
+                continue
+            primary, extra = hosts[0], hosts[1]
+            assert extra != primary
+            module = next(m for m in problem.modules if m.name == name)
+            # The replica is the best-compute device among the non-hosts.
+            others = [
+                d for d in problem.devices
+                if d.name != primary
+                and module.memory_bytes <= d.memory_bytes
+            ]
+            expected = min(
+                others,
+                key=lambda d: (problem.compute_seconds(module, d), d.name),
+            )
+            assert extra == expected.name
+
 
 class TestOptimalPlacement:
     def test_enumeration_is_memory_feasible(self):

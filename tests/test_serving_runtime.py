@@ -187,12 +187,133 @@ class TestChurn:
         assert report.rejected == 0
 
 
+class TestReplicaFailureMidStream:
+    def test_replica_device_failure_reroutes_to_surviving_copy(self):
+        """With a replicated deployment, failing one replica's device must
+        leave the stream flowing through the surviving copy: the router
+        filters dead hosts, queued work on the dead device re-routes, and
+        every arrival still terminates (conservation)."""
+        trace = burst_trace(8, spacing_s=0.2)
+        churn = (DeviceChurnEvent(time=0.9, device="desktop", kind="fail"),)
+        report = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=True
+        ).run(trace, churn)
+        assert report.churn[0].applied
+        assert report.completed + report.rejected == report.arrivals
+        assert report.completed == report.arrivals  # admission off
+        # Work that was queued or in flight on the dead replica re-routed.
+        assert all(r.finish_time is not None for r in report.records)
+
+    def test_failed_replica_recovery_keeps_determinism(self):
+        trace = burst_trace(10, spacing_s=0.3)
+        churn = (
+            DeviceChurnEvent(time=1.0, device="desktop", kind="fail"),
+            DeviceChurnEvent(time=3.0, device="desktop", kind="recover"),
+        )
+        runtime = ServingRuntime(MODELS, slo=SLOPolicy(admission=False), replicate=True)
+        first = runtime.run(trace, churn)
+        second = runtime.run(trace, churn)
+        assert first.metrics_tuple() == second.metrics_tuple()
+
+
+class TestAutoscale:
+    def overload_trace(self):
+        return WorkloadGenerator(
+            MODELS, kind="bursty", rate_rps=2.5, duration_s=15.0, seed=7
+        ).generate()
+
+    def test_autoscaler_adds_replicas_under_load(self):
+        report = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=False, autoscale=True
+        ).run(self.overload_trace())
+        adds = [s for s in report.scaling if s.action == "add" and s.applied]
+        assert adds, "an overloaded single-copy deployment must scale out"
+        for record in adds:
+            assert record.cost_s > 0  # loading is never free
+        assert report.completed + report.rejected == report.arrivals
+
+    def test_autoscale_conserves_requests_under_churn(self):
+        trace = self.overload_trace()
+        churn = generate_churn(DEVICES, "jetson-a", 0.15, 15.0, seed=5)
+        report = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=False, autoscale=True
+        ).run(trace, churn)
+        assert report.completed + report.rejected == report.arrivals
+        assert report.completed == report.arrivals
+
+    def test_autoscale_deterministic(self):
+        trace = self.overload_trace()
+        runtime = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=False, autoscale=True
+        )
+        first = runtime.run(trace)
+        second = runtime.run(trace)
+        assert first.metrics_tuple() == second.metrics_tuple()
+        assert first.scaling == second.scaling
+
+    def test_idle_tail_scales_back_down(self):
+        """A burst followed by silence drops the surplus replicas (the
+        arrival window is padded so the control loop outlives the burst)."""
+        arrivals = tuple(Arrival(0.05 * (i + 1), "clip-vit-b16") for i in range(24))
+        trace = ArrivalTrace(arrivals=arrivals, duration_s=60.0, kind="poisson", seed=0)
+        report = ServingRuntime(
+            MODELS,
+            slo=SLOPolicy(admission=False),
+            replicate=False,
+            autoscale=True,
+            scale_down_idle_rounds=2,
+        ).run(trace)
+        actions = [s.action for s in report.scaling if s.applied]
+        assert "add" in actions
+        assert "drop" in actions
+        assert report.completed == report.arrivals
+
+    def test_autoscale_improves_overloaded_tail(self):
+        """At the benchmarked high-rate point the autoscaler must beat the
+        static leftover-replication baseline on goodput or p95."""
+        trace = self.overload_trace()
+        leftover = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=True
+        ).run(trace)
+        autoscaled = ServingRuntime(
+            MODELS, slo=SLOPolicy(admission=False), replicate=False, autoscale=True
+        ).run(trace)
+        assert (
+            autoscaled.goodput_rps > leftover.goodput_rps
+            or autoscaled.latency.p95 < leftover.latency.p95
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="autoscale_interval_s"):
+            ServingRuntime(MODELS, autoscale=True, autoscale_interval_s=0.0)
+        with pytest.raises(ValueError, match="scale_up_backlog_s"):
+            ServingRuntime(MODELS, autoscale=True, scale_up_backlog_s=-1.0)
+        with pytest.raises(ValueError, match="scale_down_idle_rounds"):
+            ServingRuntime(MODELS, autoscale=True, scale_down_idle_rounds=0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            ServingRuntime(MODELS, autoscale=True, max_replicas=0)
+        with pytest.raises(ValueError, match="scale_up_speed_ratio"):
+            ServingRuntime(MODELS, autoscale=True, scale_up_speed_ratio=0.5)
+
+
 class TestServeCli:
     def test_serve_smoke(self, capsys):
         assert main(["serve", "--duration", "10", "--rate", "0.3", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         for needle in ("p50", "p95", "p99", "goodput", "SLO attainment"):
             assert needle in out
+
+    def test_serve_autoscale_smoke(self, capsys):
+        assert main(["serve", "--duration", "8", "--rate", "2.0",
+                     "--workload", "bursty", "--autoscale", "--no-admission"]) == 0
+        out = capsys.readouterr().out
+        assert "Online serving report" in out
+
+    def test_serve_rejects_bad_autoscale_args(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--autoscale", "--max-replicas", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--autoscale", "--autoscale-interval", "0"])
 
     def test_serve_with_churn(self, capsys):
         assert main([

@@ -1,23 +1,26 @@
 #!/usr/bin/env python
 """Run the placement perf benchmarks; emit ``BENCH_placement.json``,
-``BENCH_energy.json``, and ``BENCH_replicas.json``.
+``BENCH_energy.json``, ``BENCH_replicas.json``, and ``BENCH_serving.json``.
 
 This is the repo's recorded perf trajectory: the instance-size sweep
 (scalar vs. tensorized objective, brute force vs. branch-and-bound), a
 serve-under-churn recovery run, the energy-placement sweep (energy
 branch-and-bound vs. brute force under a latency budget, see
-``docs/energy.md``), and the replica sweep (replica branch-and-bound vs.
+``docs/energy.md``), the replica sweep (replica branch-and-bound vs.
 brute-force host-set enumeration, plus the serving autoscaler vs. static
-replication under bursty overload, see ``docs/placement.md``).  The
-checked-in JSONs are regenerated with::
+replication under bursty overload, see ``docs/placement.md``), and the
+serving-engine sweep (the flat vectorized event loop vs. the legacy
+generator-process engine at 100k-arrival scale, plus a flat-only
+million-arrival replay, see ``docs/serving.md``).  The checked-in JSONs
+are regenerated with::
 
     python scripts/run_benchmarks.py
 
 and CI runs the trimmed ``--smoke`` variant on every push (writing
 ``BENCH_smoke.json`` / ``BENCH_energy_smoke.json`` /
-``BENCH_replicas_smoke.json``), uploading the JSONs as artifacts so the
-trend is inspectable per commit.  See ``docs/performance.md`` for the
-schema and how to read the numbers.
+``BENCH_replicas_smoke.json`` / ``BENCH_serving_smoke.json``), uploading
+the JSONs as artifacts so the trend is inspectable per commit.  See
+``docs/performance.md`` for the schema and how to read the numbers.
 """
 
 from __future__ import annotations
@@ -41,6 +44,30 @@ ENERGY_SMOKE_SWEEP = [(3, 4), (6, 8)]
 #: the exact envelope is deliberately smaller — see docs/placement.md.
 REPLICA_FULL_SWEEP = [(3, 4, 2), (4, 5, 2), (4, 5, 3), (4, 6, 2), (5, 8, 2)]
 REPLICA_SMOKE_SWEEP = [(3, 4, 2), (4, 5, 2)]
+#: (label, kind, rate_rps, duration_s).  Each full point replays ~100k
+#: arrivals through BOTH serving engines; the flat/legacy speedup grows
+#: with offered load because the legacy engine recomputes isolated latency
+#: and queue pressure per arrival while the flat engine prices from
+#: per-generation caches (see docs/serving.md).
+SERVING_FULL_SWEEP = [
+    ("capacity", "poisson", 2.0, 50000.0),
+    ("overload", "poisson", 20.0, 5000.0),
+    ("deep-overload", "poisson", 40.0, 2500.0),
+]
+SERVING_SMOKE_SWEEP = [
+    ("capacity", "poisson", 2.0, 500.0),
+    ("overload", "poisson", 20.0, 500.0),
+]
+#: The million-arrival replay (flat engine only; the sweep rows above
+#: already pin flat == legacy at 100k arrivals).
+SERVING_REPLAY_FULL = ("poisson", 2.0, 500000.0)
+SERVING_REPLAY_SMOKE = ("poisson", 20.0, 1000.0)
+#: Speedup gates for the "overload" sweep row.  The full gate is the
+#: PR-level acceptance bar; smoke uses a loose bar so shared CI runners
+#: don't flake the build on scheduler noise.
+SERVING_SPEEDUP_GATE_FULL = 10.0
+SERVING_SPEEDUP_GATE_SMOKE = 2.0
+SERVING_MODELS = ["clip-vit-b16", "encoder-vqa-small"]
 
 
 def bench_objective(n_modules: int, n_devices: int, repeats: int) -> dict:
@@ -319,6 +346,87 @@ def bench_serving_churn(duration_s: float) -> dict:
     }
 
 
+def bench_serving_engines(
+    label: str, kind: str, rate_rps: float, duration_s: float, *, seed: int = 0,
+    flat_repeats: int = 2,
+) -> dict:
+    """Replay one trace through both serving engines; record the speedup.
+
+    The flat engine is timed best-of-``flat_repeats`` (it is fast enough to
+    repeat); the legacy generator-process engine runs once.  The reports
+    must agree on every aggregate metric — the per-record bit-identity is
+    pinned separately by ``tests/test_serving_engine_equivalence.py``.
+    """
+    from repro.serving import ServingRuntime, WorkloadGenerator
+
+    def run(engine: str, repeats: int):
+        best_wall = None
+        report = None
+        for _ in range(repeats):
+            trace = WorkloadGenerator(
+                SERVING_MODELS, kind=kind, rate_rps=rate_rps,
+                duration_s=duration_s, seed=seed,
+            ).generate()
+            runtime = ServingRuntime(SERVING_MODELS, engine=engine)
+            start = time.perf_counter()
+            report = runtime.run(trace)
+            wall = time.perf_counter() - start
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        return best_wall, report
+
+    flat_wall, flat = run("flat", flat_repeats)
+    legacy_wall, legacy = run("processes", 1)
+    return {
+        "label": label,
+        "workload": kind,
+        "rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "seed": seed,
+        "arrivals": flat.arrivals,
+        "flat_wall_s": round(flat_wall, 4),
+        "flat_arrivals_per_s": round(flat.arrivals / flat_wall, 1),
+        "legacy_wall_s": round(legacy_wall, 4),
+        "legacy_arrivals_per_s": round(legacy.arrivals / legacy_wall, 1),
+        "speedup": round(legacy_wall / flat_wall, 2),
+        "flat_matches_legacy": flat.metrics_tuple() == legacy.metrics_tuple(),
+        "conservation_ok": (
+            flat.completed + flat.rejected == flat.arrivals
+            and legacy.completed + legacy.rejected == legacy.arrivals
+        ),
+        "completed": flat.completed,
+        "rejected": flat.rejected,
+        "p95_s": round(flat.latency.p95, 4),
+    }
+
+
+def bench_serving_replay(kind: str, rate_rps: float, duration_s: float, *, seed: int = 0) -> dict:
+    """The headline replay: flat engine, records off, arrivals at scale."""
+    from repro.serving import ServingRuntime, WorkloadGenerator
+
+    trace = WorkloadGenerator(
+        SERVING_MODELS, kind=kind, rate_rps=rate_rps,
+        duration_s=duration_s, seed=seed,
+    ).generate()
+    runtime = ServingRuntime(SERVING_MODELS, engine="flat", keep_records=False)
+    start = time.perf_counter()
+    report = runtime.run(trace)
+    wall_s = time.perf_counter() - start
+    return {
+        "workload": kind,
+        "rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "seed": seed,
+        "arrivals": report.arrivals,
+        "wall_s": round(wall_s, 2),
+        "arrivals_per_s": round(report.arrivals / wall_s, 1),
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "conservation_ok": report.completed + report.rejected == report.arrivals,
+        "p95_s": round(report.latency.p95, 4),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -345,6 +453,11 @@ def main() -> int:
         help="where to write the replica-placement/serving JSON (default: "
         "BENCH_replicas.json for full runs, BENCH_replicas_smoke.json for --smoke)",
     )
+    parser.add_argument(
+        "--serving-output", type=Path, default=None,
+        help="where to write the serving-engine JSON (default: "
+        "BENCH_serving.json for full runs, BENCH_serving_smoke.json for --smoke)",
+    )
     args = parser.parse_args()
     if args.output is None:
         args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
@@ -355,6 +468,10 @@ def main() -> int:
     if args.replica_output is None:
         args.replica_output = REPO_ROOT / (
             "BENCH_replicas_smoke.json" if args.smoke else "BENCH_replicas.json"
+        )
+    if args.serving_output is None:
+        args.serving_output = REPO_ROOT / (
+            "BENCH_serving_smoke.json" if args.smoke else "BENCH_serving.json"
         )
 
     import numpy
@@ -418,6 +535,31 @@ def main() -> int:
     args.replica_output.write_text(json.dumps(replica_results, indent=2) + "\n")
     print(f"wrote {args.replica_output}")
 
+    serving_results = {
+        "benchmark": "serving-engine",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "speedup_gate": (
+            SERVING_SPEEDUP_GATE_SMOKE if args.smoke else SERVING_SPEEDUP_GATE_FULL
+        ),
+        "engine_sweep": [],
+    }
+    for label, kind, rate_rps, duration_s in (
+        SERVING_SMOKE_SWEEP if args.smoke else SERVING_FULL_SWEEP
+    ):
+        print(f"serving engine sweep {label} (rate={rate_rps}) ...", flush=True)
+        serving_results["engine_sweep"].append(
+            bench_serving_engines(label, kind, rate_rps, duration_s)
+        )
+    replay_point = SERVING_REPLAY_SMOKE if args.smoke else SERVING_REPLAY_FULL
+    print(f"serving replay (flat, rate={replay_point[1]}, "
+          f"duration={replay_point[2]}) ...", flush=True)
+    serving_results["replay"] = bench_serving_replay(*replay_point)
+    args.serving_output.write_text(json.dumps(serving_results, indent=2) + "\n")
+    print(f"wrote {args.serving_output}")
+
     failures = []
     for row in results["objective_sweep"]:
         if not row["bit_identical"]:
@@ -453,6 +595,24 @@ def main() -> int:
             "autoscale does not beat leftover replication on goodput or p95 "
             "at the benchmarked high-rate point"
         )
+    speedup_gate = serving_results["speedup_gate"]
+    for row in serving_results["engine_sweep"]:
+        if not row["flat_matches_legacy"]:
+            failures.append(
+                f"serving engine report mismatch at {row['label']} "
+                f"(rate={row['rate_rps']})"
+            )
+        if not row["conservation_ok"]:
+            failures.append(
+                f"serving engine conservation violated at {row['label']}"
+            )
+        if row["label"] == "overload" and row["speedup"] < speedup_gate:
+            failures.append(
+                f"flat engine speedup {row['speedup']}x below the "
+                f"{speedup_gate}x gate at the overload point"
+            )
+    if not serving_results["replay"]["conservation_ok"]:
+        failures.append("serving replay conservation violated")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

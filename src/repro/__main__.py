@@ -176,6 +176,10 @@ def serve_main(argv=None) -> int:
                         help="autoscaler control-loop period in simulated seconds (default: 0.5)")
     parser.add_argument("--max-replicas", type=int, default=3,
                         help="per-module replica cap for the autoscaler (default: 3)")
+    parser.add_argument("--engine", choices=("flat", "processes"), default="flat",
+                        help="serving core: 'flat' is the vectorized event-loop engine, "
+                        "'processes' the legacy one-generator-per-request engine; both "
+                        "produce bit-identical reports (default: flat)")
     args = parser.parse_args(argv)
 
     from repro.core.catalog import MODEL_CATALOG
@@ -213,6 +217,7 @@ def serve_main(argv=None) -> int:
         autoscale=args.autoscale,
         autoscale_interval_s=args.autoscale_interval,
         max_replicas=args.max_replicas,
+        engine=args.engine,
     )
     churn = generate_churn(
         runtime.device_names,

@@ -41,8 +41,8 @@ def summarize(result: ExecutionResult) -> LatencySummary:
 
 
 def summarize_latencies(latencies: Sequence[float], makespan: float = 0.0) -> LatencySummary:
-    """Summarize raw latency values."""
-    if not latencies:
+    """Summarize raw latency values (any sequence, including numpy arrays)."""
+    if len(latencies) == 0:
         return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, makespan)
     array = np.asarray(latencies, dtype=float)
     return LatencySummary(

@@ -8,10 +8,13 @@ The batch experiments evaluate one-shot request sets; this package serves
 - :class:`SLOPolicy` — per-request deadlines and admission control.
 - :func:`generate_churn` / :class:`DeviceChurnEvent` — seeded device
   fail/recover schedules.
-- :class:`ServingRuntime` — drives the discrete-event simulator with the
-  queue-aware router, per-(module, device) micro-batching, SLO admission,
-  and adaptive re-placement under churn; returns a :class:`ServingReport`
-  with p50/p95/p99 latency, goodput, and SLO attainment.
+- :class:`ServingRuntime` — drives the serving run with the queue-aware
+  router, per-(module, device) micro-batching, SLO admission, and adaptive
+  re-placement under churn; returns a :class:`ServingReport` with
+  p50/p95/p99 latency, goodput, and SLO attainment.  Two interchangeable
+  cores: the vectorized :class:`FlatServingEngine` event loop (default,
+  ``engine="flat"``) and the legacy generator-process engine
+  (``engine="processes"``) — bit-identical reports either way.
 
 Quickstart::
 
@@ -28,6 +31,7 @@ Quickstart::
 """
 
 from repro.serving.churn import FAIL, RECOVER, DeviceChurnEvent, generate_churn
+from repro.serving.engine import FlatServingEngine
 from repro.serving.report import (
     ChurnRecord,
     DeviceEnergy,
@@ -49,6 +53,7 @@ __all__ = [
     "DeviceEnergy",
     "EnergyReport",
     "FAIL",
+    "FlatServingEngine",
     "RECOVER",
     "MigrationRecord",
     "RequestRecord",

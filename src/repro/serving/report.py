@@ -10,7 +10,9 @@ time; goodput is SLO-met completions per second.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster.metrics import LatencySummary, summarize_latencies
 
@@ -311,6 +313,63 @@ class ServingReport:
         return "\n".join(lines)
 
 
+def build_report_arrays(
+    workload_kind: str,
+    duration_s: float,
+    seed: int,
+    *,
+    request_ids: np.ndarray,
+    arrival_times: np.ndarray,
+    slo_s: np.ndarray,
+    admitted: np.ndarray,
+    finish_times: np.ndarray,
+    retries: np.ndarray,
+    rejected: np.ndarray,
+    migrations: Sequence[MigrationRecord],
+    churn: Sequence[ChurnRecord],
+    energy: Optional[EnergyReport] = None,
+    scaling: Optional[Sequence[ScalingRecord]] = None,
+    records: Tuple[RequestRecord, ...] = (),
+) -> ServingReport:
+    """Assemble the report from per-request columns, enforcing conservation.
+
+    The vectorized aggregation core shared by both serving engines:
+    ``finish_times`` uses NaN for "never completed", ``rejected`` is the
+    boolean rejection mask, and every aggregate (counts, SLO attainment,
+    latency percentiles, makespan) is computed with numpy array ops instead
+    of per-record Python loops.  ``records`` only rides along into the
+    report (empty when the caller dropped them to save memory).
+    """
+    completed_mask = ~np.isnan(finish_times)
+    unresolved_mask = ~completed_mask & ~rejected
+    if unresolved_mask.any():
+        ids = [int(i) for i in request_ids[unresolved_mask][:5]]
+        raise RuntimeError(
+            f"{int(np.count_nonzero(unresolved_mask))} request(s) neither completed "
+            f"nor rejected (e.g. ids {ids}); the serving run lost work"
+        )
+    latencies = finish_times[completed_mask] - arrival_times[completed_mask]
+    completed = int(np.count_nonzero(completed_mask))
+    makespan = float(finish_times[completed_mask].max()) if completed else 0.0
+    return ServingReport(
+        workload_kind=workload_kind,
+        duration_s=duration_s,
+        seed=seed,
+        arrivals=len(arrival_times),
+        admitted=int(np.count_nonzero(admitted)),
+        rejected=int(np.count_nonzero(rejected)),
+        completed=completed,
+        slo_met=int(np.count_nonzero(latencies <= slo_s[completed_mask])),
+        retries=int(retries.sum()),
+        latency=summarize_latencies(latencies, makespan=makespan),
+        migrations=tuple(migrations),
+        churn=tuple(churn),
+        scaling=tuple(scaling or ()),
+        records=records,
+        energy=energy,
+    )
+
+
 def build_report(
     workload_kind: str,
     duration_s: float,
@@ -320,35 +379,39 @@ def build_report(
     churn: List[ChurnRecord],
     energy: Optional[EnergyReport] = None,
     scaling: Optional[List[ScalingRecord]] = None,
+    keep_records: bool = True,
 ) -> ServingReport:
-    """Assemble the aggregate report, enforcing request conservation."""
-    unresolved = [r for r in records if not r.completed and r.rejected_reason is None]
-    if unresolved:
-        ids = [r.request_id for r in unresolved[:5]]
-        raise RuntimeError(
-            f"{len(unresolved)} request(s) neither completed nor rejected "
-            f"(e.g. ids {ids}); the serving run lost work"
-        )
-    completed = [r for r in records if r.completed]
-    latencies = [r.latency for r in completed]
-    makespan = max((r.finish_time for r in completed if r.finish_time is not None), default=0.0)
-    per_model_counts: Dict[str, int] = {}
-    for record in records:
-        per_model_counts[record.model_name] = per_model_counts.get(record.model_name, 0) + 1
-    return ServingReport(
-        workload_kind=workload_kind,
-        duration_s=duration_s,
-        seed=seed,
-        arrivals=len(records),
-        admitted=sum(1 for r in records if r.admitted),
-        rejected=sum(1 for r in records if r.rejected_reason is not None),
-        completed=len(completed),
-        slo_met=sum(1 for r in completed if r.slo_met),
-        retries=sum(r.retries for r in records),
-        latency=summarize_latencies(latencies, makespan=makespan),
-        migrations=tuple(migrations),
-        churn=tuple(churn),
-        scaling=tuple(scaling or ()),
-        records=tuple(records),
+    """Assemble the aggregate report from :class:`RequestRecord` objects.
+
+    Extracts the per-request columns once and delegates to
+    :func:`build_report_arrays`, so record-based (legacy engine) and
+    column-based (flat engine) runs aggregate through the same numpy code.
+    ``keep_records=False`` drops the per-request records from the report
+    (the aggregates are already computed) for memory-bound large runs.
+    """
+    n = len(records)
+    return build_report_arrays(
+        workload_kind,
+        duration_s,
+        seed,
+        request_ids=np.fromiter((r.request_id for r in records), dtype=np.int64, count=n),
+        arrival_times=np.fromiter(
+            (r.arrival_time for r in records), dtype=np.float64, count=n
+        ),
+        slo_s=np.fromiter((r.slo_s for r in records), dtype=np.float64, count=n),
+        admitted=np.fromiter((r.admitted for r in records), dtype=bool, count=n),
+        finish_times=np.fromiter(
+            (np.nan if r.finish_time is None else r.finish_time for r in records),
+            dtype=np.float64,
+            count=n,
+        ),
+        retries=np.fromiter((r.retries for r in records), dtype=np.int64, count=n),
+        rejected=np.fromiter(
+            (r.rejected_reason is not None for r in records), dtype=bool, count=n
+        ),
+        migrations=migrations,
+        churn=churn,
         energy=energy,
+        scaling=scaling,
+        records=tuple(records) if keep_records else (),
     )

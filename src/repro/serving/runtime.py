@@ -239,6 +239,22 @@ class ServingRuntime:
             services then dominate the tail.
         max_replicas: Upper bound on a module's host-set size (memory
             guard; counts failed hosts too — their weights stay resident).
+        engine: Which serving core drives the run.  ``"flat"`` (default)
+            is the vectorized event loop of
+            :class:`~repro.serving.engine.FlatServingEngine` — per-request
+            state in numpy columns, continuations as plain callbacks —
+            which replays the same semantics orders of magnitude faster;
+            ``"processes"`` is the original generator-process engine, kept
+            as the bit-identity oracle.  Same config + trace + churn ⇒
+            identical :class:`~repro.serving.report.ServingReport` from
+            either engine.
+        max_events: Optional livelock cap forwarded to the event loop;
+            ``None`` (default) derives it from the scheduled work (see
+            :func:`repro.sim.simulator.default_max_events`).
+        keep_records: Keep the per-request :class:`RequestRecord` tuple on
+            the report.  ``False`` drops it after aggregation — the
+            memory-saving choice for million-arrival replays where only
+            the aggregate metrics matter.
         track_energy: Account per-device energy during the run (see
             :class:`~repro.serving.report.EnergyReport`): active joules over
             the union of compute/head spans, idle joules (``idle_watts``)
@@ -271,6 +287,9 @@ class ServingRuntime:
         scale_down_idle_rounds: int = 6,
         scale_up_speed_ratio: float = 3.0,
         max_replicas: int = 3,
+        engine: str = "flat",
+        max_events: Optional[int] = None,
+        keep_records: bool = True,
         track_energy: bool = True,
     ) -> None:
         if not models:
@@ -289,6 +308,10 @@ class ServingRuntime:
             raise ValueError(f"scale_up_speed_ratio must be >= 1, got {scale_up_speed_ratio}")
         if max_replicas < 1:
             raise ValueError(f"max_replicas must be >= 1, got {max_replicas}")
+        if engine not in ("flat", "processes"):
+            raise ValueError(f"engine must be 'flat' or 'processes', got {engine!r}")
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.models = list(models)
         self.device_names = list(device_names) if device_names is not None else edge_device_names()
         self.requester = requester
@@ -311,6 +334,9 @@ class ServingRuntime:
         self.scale_down_idle_rounds = scale_down_idle_rounds
         self.scale_up_speed_ratio = scale_up_speed_ratio
         self.max_replicas = max_replicas
+        self.engine = engine
+        self.max_events = max_events
+        self.keep_records = keep_records
         self.track_energy = track_energy
 
     # ==================================================================
@@ -325,7 +351,25 @@ class ServingRuntime:
 
         The report enforces conservation: every arrival is either completed
         or rejected, never lost — a violation raises :class:`RuntimeError`.
+
+        Dispatches to the engine selected at construction: the flat
+        vectorized event loop (default) or the legacy generator-process
+        engine — both produce identical reports for identical inputs.
         """
+        if self.engine == "flat":
+            # Imported lazily: repro.serving.engine imports from this module's
+            # siblings, and the legacy path must stay importable without it.
+            from repro.serving.engine import FlatServingEngine
+
+            return FlatServingEngine(self).run(trace, churn_events)
+        return self._run_processes(trace, churn_events)
+
+    def _run_processes(
+        self,
+        trace: ArrivalTrace,
+        churn_events: Iterable[DeviceChurnEvent] = (),
+    ) -> ServingReport:
+        """The legacy engine: one generator process per request per hop."""
         self._cluster = build_testbed(self.device_names, requester=self.requester)
         self._sim = self._cluster.sim
         self._engine = S2M3Engine(self._cluster, self.models, replicate=self.replicate)
@@ -369,7 +413,7 @@ class ServingRuntime:
             self._sim.process(self._churn_proc(ordered_churn), name="churn")
         if self.autoscale and trace.arrivals:
             self._sim.process(self._autoscale_proc(), name="autoscale")
-        self._sim.run()
+        self._sim.run(max_events=self.max_events)
         return build_report(
             trace.kind,
             trace.duration_s,
@@ -379,6 +423,7 @@ class ServingRuntime:
             self._churn_log,
             energy=self._energy_report() if self.track_energy else None,
             scaling=self._scaling_log,
+            keep_records=self.keep_records,
         )
 
     # ==================================================================

@@ -8,6 +8,8 @@ network transfers, and per-request parallel encoder execution (Fig. 3).
 Public surface:
 
 - :class:`Simulator` — event loop with a virtual clock.
+- :class:`FlatEventLoop` — the slimmed callback kernel behind the flat
+  serving engine (no generator frames; same (time, insertion-order) FIFO).
 - :class:`Process` — generator-based process handle (also awaitable).
 - :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — awaitable events.
 - :class:`Resource` — capacity-limited FIFO resource (device compute slots).
@@ -16,9 +18,10 @@ Public surface:
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.flat import FlatEventLoop
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, default_max_events
 from repro.sim.trace import Span, TraceRecorder
 
 __all__ = [
@@ -26,10 +29,12 @@ __all__ = [
     "AnyOf",
     "Event",
     "Timeout",
+    "FlatEventLoop",
     "Process",
     "Resource",
     "Store",
     "Simulator",
+    "default_max_events",
     "Span",
     "TraceRecorder",
 ]

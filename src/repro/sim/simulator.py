@@ -8,6 +8,24 @@ from typing import Any, List, Optional, Tuple
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
+#: Floor for the derived livelock cap: small runs keep the historic guard.
+MIN_MAX_EVENTS = 10_000_000
+#: Derived-cap budget: how many processed events each initially scheduled
+#: event may fan out into before the run is declared a livelock.  Serving
+#: runs spend a few dozen events per request, so 200x leaves an order of
+#: magnitude of headroom while still catching unbounded self-rescheduling.
+EVENTS_PER_SCHEDULED = 200
+
+
+def default_max_events(pending: int) -> int:
+    """Livelock cap for a run that starts with ``pending`` scheduled events.
+
+    Scales with the initially scheduled work instead of a fixed constant, so
+    a legitimate million-arrival serving run (tens of millions of events) is
+    not spuriously killed while a buggy two-process ping-pong loop still is.
+    """
+    return max(MIN_MAX_EVENTS, EVENTS_PER_SCHEDULED * pending)
+
 
 class Simulator:
     """A discrete-event simulator with a floating-point clock in seconds.
@@ -71,12 +89,17 @@ class Simulator:
         self._now = time
         event._process()
 
-    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or a safety cap.
 
         Returns the final simulated time.  The ``max_events`` cap guards
-        against runaway loops in buggy workloads; hitting it raises.
+        against runaway loops in buggy workloads; hitting it raises.  When
+        ``None`` (the default) the cap is derived from the work scheduled at
+        entry via :func:`default_max_events`, so large-but-legitimate runs
+        scale the guard instead of tripping it.
         """
+        if max_events is None:
+            max_events = default_max_events(len(self._queue))
         processed = 0
         while self._queue:
             next_time = self._queue[0][0]

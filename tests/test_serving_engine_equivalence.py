@@ -1,0 +1,165 @@
+"""Flat-engine equivalence: the vectorized serving core must be a perfect
+behavioural mirror of the legacy generator-process engine.
+
+The flat engine (`repro.serving.engine.FlatServingEngine`) is a
+continuation-passing rewrite of `ServingRuntime._run_processes` on a bare
+(time, insertion-order) heap.  Its correctness contract is *bit-identical
+reports*: same seed and config, same `ServingReport` — every request
+record, migration, churn entry, scaling action, energy ledger, and the
+rendered text — across workload shapes, churn, autoscaling, batching, and
+energy tracking.  These tests sweep that grid and compare field by field.
+
+Request ids are drawn from a process-global counter, so absolute ids shift
+with whatever ran earlier in the interpreter; we compare ids normalized by
+the per-run minimum (relative order and density must still match exactly).
+"""
+
+import pytest
+
+from repro.serving import (
+    ServingRuntime,
+    SLOPolicy,
+    WorkloadGenerator,
+    generate_churn,
+)
+
+MODELS = ["clip-vit-b16", "encoder-vqa-small"]
+
+
+def _run(engine, *, kind="poisson", rate=0.4, duration=30.0, seed=0,
+         churn_rate=0.0, runtime_kwargs=None):
+    trace = WorkloadGenerator(
+        MODELS, kind=kind, rate_rps=rate, duration_s=duration, seed=seed
+    ).generate()
+    runtime = ServingRuntime(MODELS, engine=engine, **(runtime_kwargs or {}))
+    churn = ()
+    if churn_rate:
+        churn = generate_churn(
+            runtime.device_names,
+            requester=runtime.requester,
+            rate_per_s=churn_rate,
+            duration_s=duration,
+            seed=seed,
+        )
+    return runtime.run(trace, churn_events=churn)
+
+
+def _normalized_records(report):
+    base = min((r.request_id for r in report.records), default=0)
+    return [
+        (
+            r.request_id - base,
+            r.model_name,
+            r.arrival_time,
+            r.slo_s,
+            r.admitted,
+            r.rejected_reason,
+            r.finish_time,
+            r.retries,
+        )
+        for r in report.records
+    ]
+
+
+def assert_reports_identical(flat, legacy):
+    assert flat.metrics_tuple() == legacy.metrics_tuple()
+    assert _normalized_records(flat) == _normalized_records(legacy)
+    assert flat.migrations == legacy.migrations
+    assert flat.churn == legacy.churn
+    assert flat.scaling == legacy.scaling
+    assert flat.energy == legacy.energy
+    assert flat.render(show_energy=True) == legacy.render(show_energy=True)
+    # Conservation: no request may be silently lost by either engine.
+    assert flat.completed + flat.rejected == flat.arrivals
+
+
+CONFIGS = [
+    pytest.param(dict(kind="poisson"), id="poisson-plain"),
+    pytest.param(
+        dict(kind="bursty", runtime_kwargs=dict(batch_window_s=0.05)),
+        id="bursty-batch-window",
+    ),
+    pytest.param(
+        dict(kind="diurnal", runtime_kwargs=dict(slo=SLOPolicy(admission=False))),
+        id="diurnal-no-admission",
+    ),
+    pytest.param(dict(kind="poisson", churn_rate=0.08, seed=4), id="poisson-churn"),
+    pytest.param(
+        dict(kind="bursty", churn_rate=0.06, seed=2,
+             runtime_kwargs=dict(batch_window_s=0.1)),
+        id="bursty-churn-window",
+    ),
+    pytest.param(
+        dict(kind="poisson", rate=1.5, seed=5,
+             runtime_kwargs=dict(autoscale=True, replicate=False)),
+        id="poisson-autoscale",
+    ),
+    pytest.param(
+        dict(kind="bursty", rate=0.8, churn_rate=0.05, seed=7,
+             runtime_kwargs=dict(autoscale=True, replicate=False)),
+        id="bursty-autoscale-churn",
+    ),
+    pytest.param(
+        dict(kind="diurnal", churn_rate=0.05, seed=9,
+             runtime_kwargs=dict(track_energy=False)),
+        id="diurnal-churn-no-energy",
+    ),
+    pytest.param(
+        dict(kind="poisson", runtime_kwargs=dict(replicate=False), seed=11),
+        id="poisson-single-copy",
+    ),
+    pytest.param(
+        dict(kind="bursty", runtime_kwargs=dict(max_batch_size=1), seed=13),
+        id="bursty-no-batching",
+    ),
+]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_flat_matches_legacy(self, config):
+        kwargs = dict(config)
+        flat = _run("flat", **kwargs)
+        legacy = _run("processes", **kwargs)
+        assert_reports_identical(flat, legacy)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_seeds_poisson_churn(self, seed):
+        kwargs = dict(kind="poisson", rate=0.6, duration=25.0, seed=seed,
+                      churn_rate=0.1)
+        flat = _run("flat", **kwargs)
+        legacy = _run("processes", **kwargs)
+        assert_reports_identical(flat, legacy)
+
+    def test_scaling_adds_and_drops_match(self):
+        """A config known to exercise scale-up (with load cost), scale-down,
+        and churn-driven migration in the same run."""
+        kwargs = dict(
+            kind="poisson", rate=1.5, duration=60.0, seed=6,
+            runtime_kwargs=dict(autoscale=True, replicate=False,
+                                scale_down_idle_rounds=2),
+        )
+        flat = _run("flat", **kwargs)
+        legacy = _run("processes", **kwargs)
+        assert_reports_identical(flat, legacy)
+        assert any(s.action == "add" and s.applied for s in flat.scaling)
+        assert any(s.action == "drop" and s.applied for s in flat.scaling)
+
+    def test_flat_is_default_engine(self):
+        assert ServingRuntime(MODELS).engine == "flat"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be"):
+            ServingRuntime(MODELS, engine="threads")
+
+    def test_keep_records_false_drops_records_only(self):
+        kwargs = dict(kind="poisson", duration=20.0, seed=3)
+        with_records = _run("flat", **kwargs)
+        without = _run("flat", runtime_kwargs=dict(keep_records=False), **kwargs)
+        assert without.records == ()
+        assert without.metrics_tuple() == with_records.metrics_tuple()
+        assert without.energy == with_records.energy
+
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError):
+            ServingRuntime(MODELS, max_events=0)

@@ -202,3 +202,78 @@ class TestEventSemantics:
         sim.process(livelock())
         with pytest.raises(RuntimeError, match="events"):
             sim.run(max_events=100)
+
+
+class TestDefaultMaxEvents:
+    def test_floor_preserved_for_small_queues(self):
+        from repro.sim import default_max_events
+        from repro.sim.simulator import MIN_MAX_EVENTS
+
+        assert default_max_events(0) == MIN_MAX_EVENTS
+        assert default_max_events(1) == MIN_MAX_EVENTS
+
+    def test_scales_with_scheduled_work(self):
+        from repro.sim import default_max_events
+        from repro.sim.simulator import EVENTS_PER_SCHEDULED, MIN_MAX_EVENTS
+
+        pending = 10_000_000
+        assert default_max_events(pending) == EVENTS_PER_SCHEDULED * pending
+        assert default_max_events(pending) > MIN_MAX_EVENTS
+
+    def test_explicit_cap_still_raises(self):
+        sim = Simulator()
+
+        def livelock():
+            while True:
+                yield sim.timeout(0.0)
+
+        sim.process(livelock())
+        with pytest.raises(RuntimeError, match="livelock"):
+            sim.run(max_events=7)
+
+
+class TestFlatEventLoop:
+    def test_fifo_at_same_time(self):
+        from repro.sim import FlatEventLoop
+
+        loop = FlatEventLoop()
+        seen = []
+        loop.push(1.0, seen.append, "b")
+        loop.push(0.0, seen.append, "a")
+        loop.push(1.0, seen.append, "c")
+        loop.run()
+        assert seen == ["a", "b", "c"]
+        assert loop.now == 1.0
+
+    def test_handlers_can_push_more_work(self):
+        from repro.sim import FlatEventLoop
+
+        loop = FlatEventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append((loop.now, n))
+            if n:
+                loop.push(0.5, chain, n - 1)
+
+        loop.push(0.0, chain, 3)
+        loop.run()
+        assert seen == [(0.0, 3), (0.5, 2), (1.0, 1), (1.5, 0)]
+
+    def test_negative_delay_rejected(self):
+        from repro.sim import FlatEventLoop
+
+        with pytest.raises(ValueError):
+            FlatEventLoop().push(-0.1, lambda: None)
+
+    def test_livelock_guard(self):
+        from repro.sim import FlatEventLoop
+
+        loop = FlatEventLoop()
+
+        def spin():
+            loop.push(0.0, spin)
+
+        loop.push(0.0, spin)
+        with pytest.raises(RuntimeError, match="livelock"):
+            loop.run(max_events=50)

@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Run the placement perf benchmarks; emit ``BENCH_placement.json``,
-``BENCH_energy.json``, ``BENCH_replicas.json``, and ``BENCH_serving.json``.
+``BENCH_energy.json``, ``BENCH_replicas.json``, ``BENCH_serving.json``,
+and ``BENCH_validation.json``.
 
 This is the repo's recorded perf trajectory: the instance-size sweep
 (scalar vs. tensorized objective, brute force vs. branch-and-bound), a
@@ -11,14 +12,17 @@ brute-force host-set enumeration, plus the serving autoscaler vs. static
 replication under bursty overload, see ``docs/placement.md``), and the
 serving-engine sweep (the flat vectorized event loop vs. the legacy
 generator-process engine at 100k-arrival scale, plus a flat-only
-million-arrival replay, see ``docs/serving.md``).  The checked-in JSONs
-are regenerated with::
+million-arrival replay, see ``docs/serving.md``), and the queue-aware
+solver-vs-serving validation sweep (predicted vs serving-measured latency
+on queue-aware and queue-blind placements, see ``docs/performance.md``).
+The checked-in JSONs are regenerated with::
 
     python scripts/run_benchmarks.py
 
 and CI runs the trimmed ``--smoke`` variant on every push (writing
 ``BENCH_smoke.json`` / ``BENCH_energy_smoke.json`` /
-``BENCH_replicas_smoke.json`` / ``BENCH_serving_smoke.json``), uploading
+``BENCH_replicas_smoke.json`` / ``BENCH_serving_smoke.json`` /
+``BENCH_validation_smoke.json``), uploading
 the JSONs as artifacts so the trend is inspectable per commit.  See
 ``docs/performance.md`` for the schema and how to read the numbers.
 """
@@ -68,6 +72,11 @@ SERVING_REPLAY_SMOKE = ("poisson", 20.0, 1000.0)
 SERVING_SPEEDUP_GATE_FULL = 10.0
 SERVING_SPEEDUP_GATE_SMOKE = 2.0
 SERVING_MODELS = ["clip-vit-b16", "encoder-vqa-small"]
+#: Validation sweep points: sub-saturation rows gate predicted-vs-measured
+#: tracking; the >= 1 rps row is the overload point where the queue-aware
+#: placement must beat the queue-blind one (see docs/performance.md).
+VALIDATION_FULL = dict(rates=(0.1, 0.3, 4.0), duration_s=40.0)
+VALIDATION_SMOKE = dict(rates=(0.5, 4.0), duration_s=12.0)
 
 
 def bench_objective(n_modules: int, n_devices: int, repeats: int) -> dict:
@@ -311,6 +320,56 @@ def bench_replica_serving(duration_s: float, rate_rps: float = 2.5, seed: int = 
     return result
 
 
+def bench_validation(smoke: bool) -> dict:
+    """Queue-aware solver-vs-serving cross-validation (gated).
+
+    Runs the SAME sweep as ``python -m repro validation``
+    (:func:`repro.experiments.validation.run_validation` — one definition,
+    no drift) and adds a queue-aware bnb-vs-brute cross-check on the
+    deployment instance.  Gates recorded in the payload: gate (a)
+    predicted mean/p95 inside the tolerance band on sub-saturation rows,
+    gate (b) the queue-aware placement beating the queue-blind one on
+    serving-measured p95 or goodput at the overload row.
+    """
+    from repro.cluster.network import Network
+    from repro.cluster.topology import build_testbed
+    from repro.core.engine import S2M3Engine
+    from repro.core.placement.optimal import optimal_placement
+    from repro.core.placement.tensors import CongestionModel
+    from repro.experiments.validation import (
+        STUDY_MODELS,
+        _solver_requests,
+        run_validation,
+    )
+    from repro.serving import WorkloadGenerator
+
+    params = VALIDATION_SMOKE if smoke else VALIDATION_FULL
+    start = time.perf_counter()
+    study = run_validation(**params)
+    payload = study.as_dict()
+    payload["wall_s"] = round(time.perf_counter() - start, 4)
+
+    # Queue-aware exactness on the very instance serving deploys: bnb and
+    # brute must agree on placement and objective with the wait term on.
+    problem = S2M3Engine(build_testbed(), list(STUDY_MODELS)).problem
+    requests = _solver_requests(problem)
+    trace = WorkloadGenerator(
+        list(STUDY_MODELS), kind=study.kind, rate_rps=max(params["rates"]),
+        duration_s=params["duration_s"], seed=study.seed,
+    ).generate()
+    congestion = CongestionModel.from_trace(trace)
+    bnb_pl, bnb_obj = optimal_placement(
+        problem, requests, network=Network(), solver="bnb", congestion=congestion
+    )
+    brute_pl, brute_obj = optimal_placement(
+        problem, requests, network=Network(), solver="brute", congestion=congestion
+    )
+    payload["qa_bnb_matches_brute"] = (
+        bnb_obj == brute_obj and bnb_pl.as_dict() == brute_pl.as_dict()
+    )
+    return payload
+
+
 def bench_serving_churn(duration_s: float) -> dict:
     """Serve a Poisson trace through fail/recover churn; report recovery."""
     from repro.serving import ServingRuntime, SLOPolicy, WorkloadGenerator
@@ -458,6 +517,12 @@ def main() -> int:
         help="where to write the serving-engine JSON (default: "
         "BENCH_serving.json for full runs, BENCH_serving_smoke.json for --smoke)",
     )
+    parser.add_argument(
+        "--validation-output", type=Path, default=None,
+        help="where to write the solver-vs-serving validation JSON (default: "
+        "BENCH_validation.json for full runs, BENCH_validation_smoke.json "
+        "for --smoke)",
+    )
     args = parser.parse_args()
     if args.output is None:
         args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
@@ -472,6 +537,10 @@ def main() -> int:
     if args.serving_output is None:
         args.serving_output = REPO_ROOT / (
             "BENCH_serving_smoke.json" if args.smoke else "BENCH_serving.json"
+        )
+    if args.validation_output is None:
+        args.validation_output = REPO_ROOT / (
+            "BENCH_validation_smoke.json" if args.smoke else "BENCH_validation.json"
         )
 
     import numpy
@@ -560,6 +629,18 @@ def main() -> int:
     args.serving_output.write_text(json.dumps(serving_results, indent=2) + "\n")
     print(f"wrote {args.serving_output}")
 
+    print("solver-vs-serving validation sweep ...", flush=True)
+    validation_results = {
+        "benchmark": "solver-serving-validation",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+    validation_results.update(bench_validation(args.smoke))
+    args.validation_output.write_text(json.dumps(validation_results, indent=2) + "\n")
+    print(f"wrote {args.validation_output}")
+
     failures = []
     for row in results["objective_sweep"]:
         if not row["bit_identical"]:
@@ -613,6 +694,22 @@ def main() -> int:
             )
     if not serving_results["replay"]["conservation_ok"]:
         failures.append("serving replay conservation violated")
+    validation_gates = validation_results["gates"]
+    if not validation_gates["tolerance_ok"]:
+        failures.append(
+            "validation: predicted latency outside the tolerance band on a "
+            "sub-saturation row (see BENCH_validation*.json rows)"
+        )
+    if not validation_gates["aware_beats_blind_at_overload"]:
+        failures.append(
+            "validation: queue-aware placement does not beat queue-blind on "
+            "measured p95 or goodput at the overload row"
+        )
+    if not validation_results["qa_bnb_matches_brute"]:
+        failures.append(
+            "validation: queue-aware bnb does not match brute force on the "
+            "deployment instance"
+        )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -97,6 +97,12 @@ def _replicas() -> str:
     return render_replicas()
 
 
+def _validation() -> str:
+    from repro.experiments.validation import render_validation
+
+    return render_validation()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table6": _table6,
     "table7": _table7,
@@ -111,6 +117,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "extensions": _extensions,
     "energy": _energy,
     "replicas": _replicas,
+    "validation": _validation,
 }
 
 
@@ -176,6 +183,10 @@ def serve_main(argv=None) -> int:
                         help="autoscaler control-loop period in simulated seconds (default: 0.5)")
     parser.add_argument("--max-replicas", type=int, default=3,
                         help="per-module replica cap for the autoscaler (default: 3)")
+    parser.add_argument("--congestion-aware", action="store_true",
+                        help="plan the deployment with the queue-aware exact solver: "
+                        "arrival rates measured from the trace price per-device "
+                        "expected waits into the placement objective (docs/placement.md)")
     parser.add_argument("--engine", choices=("flat", "processes"), default="flat",
                         help="serving core: 'flat' is the vectorized event-loop engine, "
                         "'processes' the legacy one-generator-per-request engine; both "
@@ -218,6 +229,7 @@ def serve_main(argv=None) -> int:
         autoscale_interval_s=args.autoscale_interval,
         max_replicas=args.max_replicas,
         engine=args.engine,
+        congestion_aware=args.congestion_aware,
     )
     churn = generate_churn(
         runtime.device_names,

@@ -55,12 +55,14 @@ from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
 from repro.core.placement.problem import Placement, PlacementProblem
 from repro.core.placement.tensors import (
+    CongestionModel,
     CostTensors,
     EnergyRequestGroup,
     EnergyTensors,
     IncrementalEnergy,
     IncrementalObjective,
     RequestGroup,
+    WaitTensors,
     _lpt_waits,
 )
 from repro.utils.errors import PlacementError
@@ -379,6 +381,85 @@ class BnBStats:
 
 
 
+class _WaitState:
+    """Incremental queue-wait bookkeeping for the congestion-aware search.
+
+    Maintains canonical partial load sums over *assigned* members —
+    utilization ``u[n]`` and residual ``r[n]`` per device — plus
+    ``vis[n]``: how many per-request member waits are already charged to
+    device ``n``.  Per-module candidate deltas are precomputed:
+    ``du[m, n]`` / ``dr[m, n]`` are the single-copy load every model using
+    module ``m`` would add to device ``n``.
+
+    The wait surcharge bound for "module ``m`` → device ``n``" re-prices
+    only device ``n`` at its increased load and charges the module's
+    request visits there; all other devices keep their current (partial)
+    waits.  In real arithmetic that never exceeds the final objective's
+    total wait surcharge — waits are monotone in load, and unassigned
+    members only add load and visits.  Floating-point evaluation reorders
+    the canonical sums, so the whole term is scaled by ``_SLACK``
+    (mirroring ``_GroupBound._CONTENTION_SLACK``): the ~1e-16-relative
+    reordering error is far below the 1e-9 margin.  Leaves are always
+    re-priced exactly through ``WaitTensors.assignment_objective``.
+    """
+
+    _SLACK = 1.0 - 1e-9
+
+    def __init__(
+        self,
+        wait: WaitTensors,
+        requests: Sequence[InferenceRequest],
+        groups: Sequence[RequestGroup],
+        group_of_request: Sequence[int],
+    ) -> None:
+        tensors = wait.tensors
+        self.wait = wait
+        n_modules = tensors.n_modules
+        n_devices = tensors.n_devices
+        self.du = np.zeros((n_modules, n_devices), dtype=np.float64)
+        self.dr = np.zeros((n_modules, n_devices), dtype=np.float64)
+        for model, lam, members, comp in wait.entries(requests):
+            if lam == 0.0:
+                continue
+            for m in members:
+                row = comp[m]
+                load = lam * row
+                self.du[m] += load
+                self.dr[m] += load * row
+        self.wreq = np.zeros(n_modules, dtype=np.float64)
+        for g in group_of_request:
+            for idx in groups[g].member_idx:
+                self.wreq[idx] += 1.0
+        self.u = np.zeros(n_devices, dtype=np.float64)
+        self.r = np.zeros(n_devices, dtype=np.float64)
+        self.vis = np.zeros(n_devices, dtype=np.float64)
+        self.slots = np.array(tensors.slots, dtype=np.float64)
+        self.rho_max = wait.congestion.rho_max
+
+    def _waits(self, u: np.ndarray, r: np.ndarray) -> np.ndarray:
+        rho = np.minimum(u / self.slots, self.rho_max)
+        return (r / self.slots) / (2.0 * (1.0 - rho))
+
+    def bound_vector(self, m: int) -> np.ndarray:
+        """Admissible wait-surcharge bound per candidate device for ``m``."""
+        waits = self._waits(self.u, self.r)
+        charged = self.vis * waits
+        base = float(charged.sum())
+        new_waits = self._waits(self.u + self.du[m], self.r + self.dr[m])
+        vec = base - charged + (self.vis + self.wreq[m]) * new_waits
+        return vec * self._SLACK
+
+    def descend(self, m: int, n: int) -> None:
+        self.u[n] += self.du[m, n]
+        self.r[n] += self.dr[m, n]
+        self.vis[n] += self.wreq[m]
+
+    def ascend(self, m: int, n: int) -> None:
+        self.vis[n] -= self.wreq[m]
+        self.r[n] -= self.dr[m, n]
+        self.u[n] -= self.du[m, n]
+
+
 class _Search:
     """Shared state for both phases of the branch-and-bound."""
 
@@ -387,9 +468,11 @@ class _Search:
         tensors: CostTensors,
         requests: Sequence[InferenceRequest],
         stats: BnBStats,
+        congestion: Optional[CongestionModel] = None,
     ) -> None:
         self.tensors = tensors
         self.stats = stats
+        self.requests = list(requests)
         self.n_modules = tensors.n_modules
         self.n_devices = tensors.n_devices
         self.memory = [int(b) for b in tensors.memory]
@@ -414,11 +497,22 @@ class _Search:
             for idx in set(group.encoder_idx) | {group.head_idx}:
                 self.groups_using[idx].append(g)
         self.group_lb = [bound.lower_bound(self.assign) for bound in self.bounds]
+        if congestion is not None:
+            self.wait_tensors: Optional[WaitTensors] = WaitTensors(tensors, congestion)
+            self.wait: Optional[_WaitState] = _WaitState(
+                self.wait_tensors, self.requests, self.groups, self.group_of_request
+            )
+        else:
+            self.wait_tensors = None
+            self.wait = None
 
     # ------------------------------------------------------------------
     def leaf_objective(self) -> float:
         """Exact objective of the full assignment (request-order summation,
-        bit-identical to ``CostTensors.objective`` on the same placement)."""
+        bit-identical to ``CostTensors.objective`` — or, queue-aware, to
+        ``WaitTensors.assignment_objective`` — on the same placement)."""
+        if self.wait_tensors is not None:
+            return self.wait_tensors.assignment_objective(self.requests, self.assign)
         total = 0.0
         cache: List[Optional[float]] = [None] * len(self.groups)
         for g in self.group_of_request:
@@ -438,6 +532,8 @@ class _Search:
         total = np.zeros(self.n_devices, dtype=np.float64)
         for g in self.group_of_request:
             total = total + (per_group[g] if g in per_group else self.group_lb[g])
+        if self.wait is not None:
+            total = total + self.wait.bound_vector(m)
         return total, per_group
 
     def descend(self, m: int, n: int, per_group: Dict[int, np.ndarray]) -> List[Tuple[int, float]]:
@@ -446,9 +542,13 @@ class _Search:
         saved = [(g, self.group_lb[g]) for g in per_group]
         for g, vector in per_group.items():
             self.group_lb[g] = float(vector[n])
+        if self.wait is not None:
+            self.wait.descend(m, n)
         return saved
 
     def ascend(self, m: int, n: int, saved: List[Tuple[int, float]]) -> None:
+        if self.wait is not None:
+            self.wait.ascend(m, n)
         for g, value in saved:
             self.group_lb[g] = value
         self.residual[n] += self.memory[m]
@@ -462,12 +562,21 @@ def branch_and_bound_placement(
     parallel: bool = True,
     tensors: Optional[CostTensors] = None,
     stats: Optional[BnBStats] = None,
+    congestion: Optional[CongestionModel] = None,
 ) -> Tuple[Placement, float]:
     """The latency-optimal single-copy placement and its objective.
 
     Identical to brute force (same argmin, same tie-break toward the
     lexicographically smallest assignment, same float objective) — verified
     property-style in ``tests/test_placement_tensors.py``.
+
+    With ``congestion`` set, the objective becomes queue-aware — base
+    latency plus each class's expected waits (see
+    :class:`~repro.core.placement.tensors.WaitTensors`) — and the bounds
+    gain an admissible wait term; the brute-vs-bnb identity then holds
+    against ``LatencyModel.congestion_objective`` (property-tested in
+    ``tests/test_placement_wait.py``).  ``congestion=None`` leaves the
+    historical solver bit-identical.
     """
     if not requests:
         raise PlacementError("optimal placement needs at least one request to score")
@@ -487,7 +596,7 @@ def branch_and_bound_placement(
     else:
         tensors.check_compatible(problem, net, parallel)
     stats = stats if stats is not None else BnBStats()
-    search = _Search(tensors, requests, stats)
+    search = _Search(tensors, requests, stats, congestion=congestion)
 
     # ------------------------------------------------------------------
     # Phase 1 — optimal value.  Branch heads first (they pin every path's

@@ -81,6 +81,7 @@ def optimal_placement(
     parallel: bool = True,
     solver: str = "auto",
     tensors=None,
+    congestion=None,
 ) -> Tuple[Placement, float]:
     """The latency-optimal placement and its objective value.
 
@@ -91,7 +92,11 @@ def optimal_placement(
     ``tensors`` optionally shares a prebuilt
     :class:`~repro.core.placement.tensors.CostTensors` for the same
     (problem, network) pair so callers scoring with the same model avoid a
-    rebuild.
+    rebuild.  ``congestion`` (a
+    :class:`~repro.core.placement.tensors.CongestionModel`) switches the
+    objective to the queue-aware one — base latency plus expected waits
+    from the offered load — under every solver; ``None`` keeps the
+    historical congestion-blind objective bit-identical.
     """
     if solver not in SOLVERS:
         raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
@@ -107,7 +112,8 @@ def optimal_placement(
         from repro.core.placement.bnb import branch_and_bound_placement
 
         return branch_and_bound_placement(
-            problem, requests, network=network, parallel=parallel, tensors=tensors
+            problem, requests, network=network, parallel=parallel, tensors=tensors,
+            congestion=congestion,
         )
     from repro.core.routing.latency import LatencyModel
 
@@ -117,7 +123,10 @@ def optimal_placement(
     found_any = False
     for placement in enumerate_placements(problem):
         found_any = True
-        objective = model.objective(requests, placement)
+        if congestion is not None:
+            objective = model.congestion_objective(requests, placement, congestion)
+        else:
+            objective = model.objective(requests, placement)
         key = (objective, tuple(sorted(placement.as_dict().items())), placement)
         if best is None or key[:2] < best[:2]:
             best = key

@@ -47,8 +47,18 @@ from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
 from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.problem import Placement, PlacementProblem
-from repro.core.placement.tensors import CostTensors, RequestGroup
+from repro.core.placement.tensors import (
+    CongestionModel,
+    CostTensors,
+    RequestGroup,
+    WaitTensors,
+)
 from repro.utils.errors import PlacementError
+
+#: Multiplicative slack on the wait lower-bound term: the bound is
+#: admissible in real arithmetic (waits are monotone in offered load), and
+#: the slack absorbs float-reordering noise so bnb == brute stays bit-exact.
+_WAIT_SLACK = 1.0 - 1e-9
 
 #: Safety cap on the host-set enumeration size for brute force.
 MAX_REPLICA_ASSIGNMENTS = 2_000_000
@@ -123,6 +133,7 @@ def replica_brute_force(
     max_copies: int = 2,
     parallel: bool = True,
     tensors: Optional[CostTensors] = None,
+    congestion: Optional[CongestionModel] = None,
 ) -> Tuple[Placement, float]:
     """The replica-optimal placement by exhaustive host-set enumeration.
 
@@ -130,7 +141,8 @@ def replica_brute_force(
     (``LatencyModel.replica_objective``, seconds) and returns the argmin;
     ties break toward the lexicographically smallest assignment (the
     enumeration order guarantees it).  The oracle the branch-and-bound is
-    verified against.
+    verified against.  ``congestion`` switches scoring to the queue-aware
+    ``congestion_replica_objective`` (base latency plus expected waits).
     """
     if not requests:
         raise PlacementError("replica placement needs at least one request to score")
@@ -140,7 +152,10 @@ def replica_brute_force(
     model = LatencyModel(problem, net, parallel=parallel, tensors=tensors)
     best: Optional[Tuple[float, Placement]] = None
     for placement in enumerate_replica_placements(problem, max_copies):
-        objective = model.replica_objective(requests, placement)
+        if congestion is not None:
+            objective = model.congestion_replica_objective(requests, placement, congestion)
+        else:
+            objective = model.replica_objective(requests, placement)
         if best is None or objective < best[0]:
             best = (objective, placement)
     if best is None:
@@ -156,6 +171,7 @@ def replica_aware_greedy(
     parallel: bool = True,
     tensors: Optional[CostTensors] = None,
     base: Optional[Placement] = None,
+    congestion: Optional[CongestionModel] = None,
 ) -> Tuple[Placement, float]:
     """Objective-driven replication: best-improvement replica additions.
 
@@ -172,7 +188,8 @@ def replica_aware_greedy(
     ``base`` seeds the search (defaults to greedy Algorithm 1's single-copy
     placement, so the result is always at least as good as greedy).
     Returns ``(placement, objective_seconds)`` with host tuples in sorted
-    device-name order.
+    device-name order.  ``congestion`` prices candidates with the
+    queue-aware ``congestion_replica_objective`` instead.
     """
     if not requests:
         raise PlacementError("replica placement needs at least one request to score")
@@ -182,13 +199,19 @@ def replica_aware_greedy(
 
     net = network if network is not None else Network()
     model = LatencyModel(problem, net, parallel=parallel, tensors=tensors)
+    if congestion is not None:
+        def score(placement: Placement) -> float:
+            return model.congestion_replica_objective(requests, placement, congestion)
+    else:
+        def score(placement: Placement) -> float:
+            return model.replica_objective(requests, placement)
     current = base if base is not None else greedy_placement(problem)
     modules = {m.name: m for m in problem.modules}
     residual: Dict[str, int] = {d.name: d.memory_bytes for d in problem.devices}
     for name, hosts in current.as_dict().items():
         for host in hosts:
             residual[host] -= modules[name].memory_bytes
-    best_objective = model.replica_objective(requests, current)
+    best_objective = score(current)
 
     while True:
         best_move: Optional[Tuple[float, str, str]] = None
@@ -201,7 +224,7 @@ def replica_aware_greedy(
                 if device.name in hosts or residual[device.name] < need:
                     continue
                 candidate = current.with_extra(module_name, device.name)
-                objective = model.replica_objective(requests, candidate)
+                objective = score(candidate)
                 if objective >= best_objective:
                     continue
                 move = (objective, module_name, device.name)
@@ -309,8 +332,10 @@ class _ReplicaSearch:
         tensors: CostTensors,
         requests: Sequence[InferenceRequest],
         max_copies: int,
+        congestion: Optional[CongestionModel] = None,
     ) -> None:
         self.tensors = tensors
+        self.requests = list(requests)
         self.max_copies = max_copies
         self.n_modules = tensors.n_modules
         self.n_devices = tensors.n_devices
@@ -359,6 +384,29 @@ class _ReplicaSearch:
                 self.groups_using[idx].append(g)
         self.group_lb = [bound.lower_bound(self.sets) for bound in self.bounds]
 
+        # Queue-wait bound state: per-device utilization/residual load sums
+        # maintained incrementally across descend/ascend (the *bound* only
+        # needs admissibility — float drift from add/undo is absorbed by
+        # ``_WAIT_SLACK``; leaves are re-priced canonically for bit-identity).
+        self.wait = WaitTensors(tensors, congestion) if congestion is not None else None
+        if self.wait is not None:
+            #: Per-module offered-load contributions: (rate, compute row).
+            self._wait_contrib: List[List[Tuple[float, np.ndarray]]] = [
+                [] for _ in range(self.n_modules)
+            ]
+            for _model, lam, members, comp in self.wait.entries(self.requests):
+                if lam == 0.0:
+                    continue  # zero-rate models add no load (and no 0*inf NaNs)
+                for m in members:
+                    self._wait_contrib[m].append((lam, comp[m]))
+            self._wu = np.zeros(self.n_devices)
+            self._wr = np.zeros(self.n_devices)
+            #: Count of infinite (missing-throughput) loads per device —
+            #: tracked separately so ascend can undo them exactly
+            #: (inf - inf would poison the running sums with NaN).
+            self._winf = np.zeros(self.n_devices, dtype=np.int64)
+            self._wslots = np.asarray(tensors.slots, dtype=float)
+
     # ------------------------------------------------------------------
     def feasible_subsets(self, m: int) -> List[Tuple[int, ...]]:
         """Candidate host sets for module ``m`` under the current residuals."""
@@ -373,6 +421,18 @@ class _ReplicaSearch:
         self.sets[m] = subset
         for n in subset:
             self.residual[n] -= self.memory[m]
+        if self.wait is not None and self._wait_contrib[m]:
+            size = float(len(subset))
+            for lam, row in self._wait_contrib[m]:
+                share = lam / size
+                for n in subset:
+                    s = float(row[n])
+                    if s == float("inf"):
+                        self._winf[n] += 1
+                        continue
+                    load = share * s
+                    self._wu[n] += load
+                    self._wr[n] += load * s
         saved = [(g, self.group_lb[g]) for g in self.groups_using[m]]
         for g in self.groups_using[m]:
             bound = self.bounds[g]
@@ -385,15 +445,81 @@ class _ReplicaSearch:
     def ascend(self, m: int, subset: Tuple[int, ...], saved: List[Tuple[int, float]]) -> None:
         for g, value in saved:
             self.group_lb[g] = value
+        if self.wait is not None and self._wait_contrib[m]:
+            size = float(len(subset))
+            for lam, row in self._wait_contrib[m]:
+                share = lam / size
+                for n in subset:
+                    s = float(row[n])
+                    if s == float("inf"):
+                        self._winf[n] -= 1
+                        continue
+                    load = share * s
+                    self._wu[n] -= load
+                    self._wr[n] -= load * s
         for n in subset:
             self.residual[n] += self.memory[m]
         self.sets[m] = None
 
     def total_bound(self) -> float:
-        """Fanned per-request bound (exact at leaves, request-order sum)."""
+        """Fanned per-request bound (exact at leaves, request-order sum).
+
+        With ``congestion`` set, leaves return the **exact** queue-aware
+        value (bit-identical to ``WaitTensors.replica_objective`` on the
+        equivalent placement — the tie phase compares ``== best_value``),
+        and partial assignments add an admissible global wait term: waits
+        ``W_p`` computed from the load of *assigned* members only are a
+        lower bound on the final waits (monotone in offered load), and each
+        class must pay at least ``min over its set`` of ``W_p`` per
+        assigned member no matter which replica routing picks.
+        """
+        if self.wait is not None and all(s is not None for s in self.sets):
+            return self._leaf_value()
         total = 0.0
         for g in self.group_of_request:
             total = total + self.group_lb[g]
+        if self.wait is None:
+            return float(total)
+        sets = self.sets
+        rho = np.minimum(self._wu / self._wslots, self.wait.congestion.rho_max)
+        waits = (self._wr / self._wslots) / (2.0 * (1.0 - rho))
+        if self._winf.any():
+            waits = np.where(self._winf > 0, float("inf"), waits)
+        group_extra = []
+        for group in self.groups:
+            extra = 0.0
+            for idx in group.member_idx:
+                assigned = sets[idx]
+                if assigned is None:
+                    continue
+                extra = extra + min(waits[n] for n in assigned)
+            group_extra.append(extra)
+        extra = 0.0
+        for g in self.group_of_request:
+            extra = extra + group_extra[g]
+        return float(total + extra * _WAIT_SLACK)
+
+    def _leaf_value(self) -> float:
+        """Exact queue-aware objective for a fully-assigned host-set state.
+
+        Mirrors ``WaitTensors.replica_objective`` float-for-float: ``sets``
+        tuples are already in sorted-device-name order (``host_subsets``'
+        contract), the same order ``waits_for_placement`` and
+        ``_replica_value`` derive from a canonical :class:`Placement`.
+        """
+        sets = self.sets
+        assert self.wait is not None
+        waits = self.wait.device_waits(self.requests, lambda m: sets[m])
+        values: List[Optional[float]] = [None] * len(self.groups)
+        total = 0.0
+        for g in self.group_of_request:
+            value = values[g]
+            if value is None:
+                group = self.groups[g]
+                candidates = [list(sets[idx]) for idx in group.member_idx]  # type: ignore[arg-type]
+                value, _ = group.best_hosts(self.tensors, candidates, device_waits=waits)
+                values[g] = value
+            total = total + value
         return float(total)
 
     def placement(self) -> Placement:
@@ -415,6 +541,7 @@ def replica_branch_and_bound(
     max_copies: int = 2,
     parallel: bool = True,
     tensors: Optional[CostTensors] = None,
+    congestion: Optional[CongestionModel] = None,
 ) -> Tuple[Placement, float]:
     """The replica-optimal placement and objective, beyond brute's cap.
 
@@ -425,7 +552,9 @@ def replica_branch_and_bound(
     branch-and-bound: a value search pruning ``bound >= best`` (the
     incumbent is always attained, so ties cannot strictly improve), then a
     tie-break walk in brute's enumeration order pruning ``bound > V`` that
-    stops at the first leaf attaining V.
+    stops at the first leaf attaining V.  ``congestion`` switches the
+    objective to the queue-aware one (wait-inclusive bounds, exact leaves);
+    ``None`` keeps the historical objective bit-identical.
     """
     if not requests:
         raise PlacementError("replica placement needs at least one request to score")
@@ -442,7 +571,7 @@ def replica_branch_and_bound(
         tensors = CostTensors(problem, net, parallel=parallel)
     else:
         tensors.check_compatible(problem, net, parallel)
-    search = _ReplicaSearch(tensors, requests, max_copies)
+    search = _ReplicaSearch(tensors, requests, max_copies, congestion=congestion)
 
     # Branching order: heads first (they pin every path's output endpoint),
     # then by descending memory (big modules constrain residuals most).
@@ -461,7 +590,7 @@ def replica_branch_and_bound(
     try:
         _, best_value = replica_aware_greedy(
             problem, requests, network=net, max_copies=max_copies,
-            parallel=parallel, tensors=tensors,
+            parallel=parallel, tensors=tensors, congestion=congestion,
         )
     except PlacementError:
         pass
@@ -529,6 +658,7 @@ def replica_optimal_placement(
     parallel: bool = True,
     solver: str = "auto",
     tensors: Optional[CostTensors] = None,
+    congestion: Optional[CongestionModel] = None,
 ) -> Tuple[Placement, float]:
     """The replica-optimal placement and its objective (seconds).
 
@@ -550,9 +680,9 @@ def replica_optimal_placement(
     if solver in ("auto", "bnb"):
         return replica_branch_and_bound(
             problem, requests, network=network, max_copies=max_copies,
-            parallel=parallel, tensors=tensors,
+            parallel=parallel, tensors=tensors, congestion=congestion,
         )
     return replica_brute_force(
         problem, requests, network=network, max_copies=max_copies,
-        parallel=parallel, tensors=tensors,
+        parallel=parallel, tensors=tensors, congestion=congestion,
     )

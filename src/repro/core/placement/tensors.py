@@ -33,7 +33,8 @@ jitter draw.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -147,6 +148,7 @@ class RequestGroup:
         self,
         tensors: "CostTensors",
         candidates: Sequence[Sequence[int]],
+        device_waits: Optional[Sequence[float]] = None,
     ) -> Tuple[float, Tuple[int, ...]]:
         """Cheapest-replica routing: the joint minimum of Eq. 1-3 over every
         combination of hosts drawn from per-module candidate sets.
@@ -159,6 +161,13 @@ class RequestGroup:
         lexicographically-smallest host combination.  Each combination is
         priced with :meth:`total` (bit-identical to the scalar breakdown).
 
+        When ``device_waits`` is given (per-device expected queue waits from
+        :class:`WaitTensors`), each combination is charged the sum of the
+        waits of its chosen hosts on top of the Eq. 1-3 total — one add per
+        member, in member order — so routing trades isolated speed against
+        congestion.  ``device_waits=None`` leaves the historical behaviour
+        bit-identical.
+
         Returns ``(total_seconds, chosen)`` with ``chosen[i]`` the device
         index picked for member ``i``.
         """
@@ -169,6 +178,11 @@ class RequestGroup:
             enc_hosts = [combo[position[idx]] for idx in self.encoder_idx]
             head_host = combo[position[self.head_idx]]
             value = self.total(tensors, enc_hosts, head_host)
+            if device_waits is not None:
+                wait = 0.0
+                for n in combo:
+                    wait = wait + device_waits[n]
+                value = value + wait
             if best_combo is None or value < best_total:
                 best_total = value
                 best_combo = tuple(combo)
@@ -696,6 +710,392 @@ class IncrementalObjective:
         self.assign[m] = n
         for g in self._uses[m]:
             self._totals[g] = self._groups[g].total_for_assignment(self.tensors, self.assign)
+        return self.objective
+
+    def delta(self, module_name: str, device_name: str) -> float:
+        """Objective change if the move were applied (state restored after)."""
+        m = self.tensors.module_idx(module_name)
+        before_device = int(self.assign[m])
+        before = self.objective
+        after = self.move(module_name, device_name)
+        self.move(module_name, self.tensors.device_names[before_device])
+        return after - before
+
+    def placement(self) -> Placement:
+        """The current assignment as a :class:`Placement`."""
+        names = self.tensors.device_names
+        return Placement(
+            {
+                self.tensors.module_names[m]: (names[int(self.assign[m])],)
+                for m in range(self.tensors.n_modules)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Offered load for queue-aware placement: per-model arrival rates.
+
+    ``rates`` maps model names to Poisson arrival rates in requests per
+    second of simulated time; models absent from the mapping contribute no
+    load.  ``rho_max`` caps the utilization fed into the wait formula so an
+    overloaded device prices a large-but-finite wait instead of a pole (the
+    steady-state M/G/1 wait diverges at ``rho == 1``; the solver only needs
+    the ordering, not the divergence).
+    """
+
+    rates: Mapping[str, float]
+    rho_max: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho_max < 1.0:
+            raise ConfigurationError(
+                f"rho_max must be in (0, 1), got {self.rho_max}"
+            )
+        for name, rate in self.rates.items():
+            if rate < 0.0:
+                raise ConfigurationError(
+                    f"arrival rate for {name!r} must be non-negative, got {rate}"
+                )
+        object.__setattr__(self, "rates", dict(self.rates))
+
+    def rate_for(self, model_name: str) -> float:
+        """Arrival rate (req/s) for ``model_name``; 0 when untracked."""
+        return self.rates.get(model_name, 0.0)
+
+    @classmethod
+    def from_trace(cls, trace, rho_max: float = 0.95) -> "CongestionModel":
+        """Empirical rates from an :class:`~repro.serving.workload.ArrivalTrace`.
+
+        Each model's rate is its arrival count divided by the trace window —
+        exactly the traffic the serving runtime is about to replay, so the
+        solver prices the congestion that ``serve`` will measure.
+        """
+        counts: Dict[str, int] = {}
+        for arrival in trace.arrivals:
+            counts[arrival.model_name] = counts.get(arrival.model_name, 0) + 1
+        duration = float(trace.duration_s)
+        if duration <= 0:
+            raise ConfigurationError(f"trace duration must be positive, got {duration}")
+        return cls(
+            rates={name: count / duration for name, count in counts.items()},
+            rho_max=rho_max,
+        )
+
+
+class WaitTensors:
+    """Expected queue-wait pricing layered on :class:`CostTensors`.
+
+    The analytic objective prices each request on an empty cluster; serving
+    measures queueing.  This layer closes that gap with an M/G/1-style
+    expected-wait model: every deployed model ``k`` offers Poisson load
+    ``lam_k`` (from :class:`CongestionModel`), split evenly across the
+    replicas of each of its member modules.  A device ``n`` with ``c_n``
+    parallel executor slots then accumulates
+
+    - utilization ``u_n   = sum lam * s`` (busy seconds per second), and
+    - residual    ``R_n   = sum lam * s^2`` (second moment of offered work),
+
+    over every (model, member, replica) contribution with service time
+    ``s = comp[k][m, n]``, and charges each visit the Pollaczek–Khinchine
+    style expected wait
+
+        ``W_n = (R_n / c_n) / (2 * (1 - min(u_n / c_n, rho_max)))``
+
+    in seconds.  ``W_n`` is monotone in the load placed on ``n``, zero when
+    arrival rates are zero (so queue-aware objectives reduce **bit-exactly**
+    to the base objective — ``t + 0.0 == t`` in IEEE arithmetic), and finite
+    under overload thanks to the ``rho_max`` clamp.
+
+    A request's queue-aware value is its base Eq. 1-3 latency plus the sum
+    of ``W`` over the hosts its member modules route to (one wait per
+    distinct member, in member order).  Accumulation orders are fixed —
+    models in request first-appearance order, members in ``member_idx``
+    order, replica hosts in sorted-device-name order — so the tensorized
+    waits are **bit-identical** to the scalar oracle
+    (``LatencyModel.congestion_waits_scalar``).
+    """
+
+    def __init__(self, tensors: CostTensors, congestion: CongestionModel) -> None:
+        self.tensors = tensors
+        self.congestion = congestion
+        self._entry_cache: Dict[Tuple[int, ...], List[Tuple[ModelSpec, float, List[int], np.ndarray]]] = {}
+
+    def entries(
+        self, requests: Sequence[InferenceRequest]
+    ) -> List[Tuple[ModelSpec, float, List[int], np.ndarray]]:
+        """Distinct deployed models in request first-appearance order.
+
+        Each entry is ``(model, rate, member_idx, compute)`` — the model's
+        arrival rate, its distinct member module indices (encoders first,
+        then the head), and its compute tensor.  Load is keyed by *model*,
+        not (model, source) class: a model's traffic must be counted once
+        no matter how many sources request it.
+        """
+        key = tuple(id(request.model) for request in requests)
+        cached = self._entry_cache.get(key)
+        if cached is not None:
+            return cached
+        entries: List[Tuple[ModelSpec, float, List[int], np.ndarray]] = []
+        seen = set()
+        for request in requests:
+            model = request.model
+            if id(model) in seen:
+                continue
+            seen.add(id(model))
+            members: List[int] = []
+            for name in list(model.encoders) + [model.head]:
+                idx = self.tensors.module_idx(name)
+                if idx not in members:
+                    members.append(idx)
+            entries.append(
+                (model, self.congestion.rate_for(model.name), members,
+                 self.tensors.model_compute(model))
+            )
+        self._entry_cache[key] = entries
+        return entries
+
+    def device_waits(
+        self,
+        requests: Sequence[InferenceRequest],
+        hosts_of: Callable[[int], Optional[Sequence[int]]],
+    ) -> List[float]:
+        """Canonical per-device expected waits ``W_n`` (Python floats).
+
+        ``hosts_of(m)`` returns the device indices hosting module ``m`` (in
+        sorted-device-name order), or ``None`` to skip an unassigned module
+        — partial-assignment waits from the canonical prefix of the load
+        sums are what the branch-and-bound bounds build on.
+        """
+        n_devices = self.tensors.n_devices
+        u = [0.0] * n_devices
+        r = [0.0] * n_devices
+        for model, lam, members, comp in self.entries(requests):
+            for m in members:
+                hosts = hosts_of(m)
+                if hosts is None:
+                    continue
+                share = lam / len(hosts)
+                row = comp[m]
+                for n in hosts:
+                    s = float(self.tensors._checked(model, row, m, n))
+                    load = share * s
+                    u[n] = u[n] + load
+                    r[n] = r[n] + load * s
+        return self.waits_from(u, r)
+
+    def waits_from(self, u: Sequence[float], r: Sequence[float]) -> List[float]:
+        """The wait formula applied per device, in device order."""
+        slots = self.tensors.slots
+        rho_max = self.congestion.rho_max
+        waits = []
+        for n in range(self.tensors.n_devices):
+            rho = u[n] / slots[n]
+            if rho > rho_max:
+                rho = rho_max
+            waits.append((r[n] / slots[n]) / (2.0 * (1.0 - rho)))
+        return waits
+
+    def _placement_hosts(self, placement: Placement) -> Callable[[int], Tuple[int, ...]]:
+        tensors = self.tensors
+        cache: Dict[int, Tuple[int, ...]] = {}
+
+        def hosts_of(m: int) -> Tuple[int, ...]:
+            got = cache.get(m)
+            if got is None:
+                name = tensors.modules[m].name
+                hosts = placement.hosts(name)
+                if not hosts:
+                    raise RoutingError(f"module {name!r} has no hosts")
+                got = tuple(tensors.device_idx(device) for device in sorted(hosts))
+                cache[m] = got
+            return got
+
+        return hosts_of
+
+    def waits_for_placement(
+        self, requests: Sequence[InferenceRequest], placement: Placement
+    ) -> List[float]:
+        """Per-device waits with each model's load split over its replicas."""
+        return self.device_waits(requests, self._placement_hosts(placement))
+
+    def assignment_waits(
+        self, requests: Sequence[InferenceRequest], assign: Sequence[int]
+    ) -> List[float]:
+        """Per-device waits for a single-copy assignment vector."""
+        return self.device_waits(requests, lambda m: (int(assign[m]),))
+
+    # ------------------------------------------------------------------
+    # Queue-aware objectives (base Eq. 1-3 latency + routed waits)
+    # ------------------------------------------------------------------
+    def objective(self, requests: Sequence[InferenceRequest], placement: Placement) -> float:
+        """Queue-aware Problem (4a): per-class base latency plus the waits
+        of the hosts Eq. 7 routing picks, fanned out in request order."""
+        tensors = self.tensors
+        waits = self.waits_for_placement(requests, placement)
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                hosts = tensors.route_hosts(request, placement)
+                group = tensors.group(request.model, request.source)
+                base = tensors._priced_total(request, hosts)
+                wait = 0.0
+                for idx in group.member_idx:
+                    wait = wait + waits[tensors.device_idx(hosts[tensors.modules[idx].name])]
+                value = base + wait
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+    def assignment_objective(
+        self, requests: Sequence[InferenceRequest], assign: Sequence[int]
+    ) -> float:
+        """Queue-aware objective for a single-copy assignment vector — the
+        canonical leaf routine shared by the branch-and-bound and
+        :class:`IncrementalWait` (bit-identical to :meth:`objective` on the
+        equivalent :class:`Placement`)."""
+        tensors = self.tensors
+        waits = self.assignment_waits(requests, assign)
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                group = tensors.group(request.model, request.source)
+                base = group.total_for_assignment(tensors, assign)
+                wait = 0.0
+                for idx in group.member_idx:
+                    wait = wait + waits[int(assign[idx])]
+                value = base + wait
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+    def replica_objective(
+        self, requests: Sequence[InferenceRequest], placement: Placement
+    ) -> float:
+        """Queue-aware cheapest-replica objective: routing itself minimizes
+        base latency *plus* the chosen hosts' waits, then classes fan out in
+        request order (the replica solvers' congestion objective)."""
+        waits = self.waits_for_placement(requests, placement)
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                value = self._replica_value(request, placement, waits)
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+    def _replica_value(
+        self,
+        request: InferenceRequest,
+        placement: Placement,
+        waits: Sequence[float],
+    ) -> float:
+        """One class's wait-aware cheapest-replica value (mirrors
+        ``CostTensors._replica_best`` candidate construction exactly)."""
+        tensors = self.tensors
+        group = tensors.group(request.model, request.source)
+        members = group.member_idx
+        candidates: List[List[int]] = []
+        comp = tensors.model_compute(request.model)
+        for idx in members:
+            name = tensors.modules[idx].name
+            hosts = placement.hosts(name)
+            if not hosts:
+                raise RoutingError(f"module {name!r} has no hosts")
+            ordered = sorted(hosts)
+            row = comp[idx]
+            for device in ordered:
+                tensors._checked(request.model, row, idx, tensors.device_idx(device))
+            candidates.append([tensors.device_idx(device) for device in ordered])
+        value, _ = group.best_hosts(tensors, candidates, device_waits=waits)
+        return value
+
+
+class IncrementalWait:
+    """Queue-aware objective tracking for single-module moves.
+
+    Mirrors :class:`IncrementalObjective`: base per-class totals are
+    re-priced only for the classes whose model uses the moved module.  The
+    device waits — a global quantity, every move shifts some device's load —
+    and each class's wait surcharge are recomputed canonically from scratch
+    per move (cheap: one pass over models × members), so the tracked
+    objective is bit-identical to
+    ``WaitTensors.assignment_objective(requests, assign)`` after any move
+    sequence.
+    """
+
+    def __init__(
+        self,
+        wait: WaitTensors,
+        requests: Sequence[InferenceRequest],
+        placement: Placement,
+    ) -> None:
+        self.wait = wait
+        self.tensors = wait.tensors
+        self.requests = list(requests)
+        tensors = wait.tensors
+        self.assign = np.empty(tensors.n_modules, dtype=np.int64)
+        for name, hosts in placement.as_dict().items():
+            if len(hosts) != 1:
+                raise ConfigurationError(
+                    "IncrementalWait requires a single-copy placement; "
+                    f"module {name!r} has hosts {hosts}"
+                )
+            self.assign[tensors.module_idx(name)] = tensors.device_idx(hosts[0])
+        self._groups: List[RequestGroup] = []
+        self._group_of: List[int] = []
+        index_of: Dict[Tuple[int, str], int] = {}
+        for request in self.requests:
+            key = (id(request.model), request.source)
+            if key not in index_of:
+                index_of[key] = len(self._groups)
+                self._groups.append(tensors.group(request.model, request.source))
+            self._group_of.append(index_of[key])
+        self._uses: List[List[int]] = [[] for _ in range(tensors.n_modules)]
+        for g, group in enumerate(self._groups):
+            for idx in set(group.encoder_idx) | {group.head_idx}:
+                self._uses[idx].append(g)
+        self._totals = [
+            group.total_for_assignment(tensors, self.assign) for group in self._groups
+        ]
+        self._refresh_values()
+
+    def _refresh_values(self) -> None:
+        """Recompute device waits + per-class values canonically."""
+        waits = self.wait.assignment_waits(self.requests, self.assign)
+        values = []
+        for g, group in enumerate(self._groups):
+            surcharge = 0.0
+            for idx in group.member_idx:
+                surcharge = surcharge + waits[int(self.assign[idx])]
+            values.append(self._totals[g] + surcharge)
+        self._values = values
+
+    @property
+    def objective(self) -> float:
+        """Current queue-aware objective (request-order summation)."""
+        total = 0.0
+        for g in self._group_of:
+            total = total + self._values[g]
+        return float(total)
+
+    def move(self, module_name: str, device_name: str) -> float:
+        """Move ``module_name`` to ``device_name``; returns the new objective."""
+        m = self.tensors.module_idx(module_name)
+        n = self.tensors.device_idx(device_name)
+        self.assign[m] = n
+        for g in self._uses[m]:
+            self._totals[g] = self._groups[g].total_for_assignment(self.tensors, self.assign)
+        self._refresh_values()
         return self.objective
 
     def delta(self, module_name: str, device_name: str) -> float:

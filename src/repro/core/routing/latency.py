@@ -283,6 +283,184 @@ class LatencyModel:
         )
 
     # ------------------------------------------------------------------
+    # Queue-aware pricing (expected waits from offered load; see
+    # repro.core.placement.tensors.WaitTensors for the model)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _member_names(model) -> List[str]:
+        """Distinct member modules, encoders first then head (``M_k``)."""
+        members: List[str] = []
+        for name in model.module_names:
+            if name not in members:
+                members.append(name)
+        return members
+
+    def congestion_waits_scalar(
+        self, requests: Sequence[InferenceRequest], placement: Placement, congestion
+    ) -> Dict[str, float]:
+        """Per-device expected wait ``W_n`` in seconds — scalar reference.
+
+        M/G/1-style: each distinct model (request first-appearance order)
+        splits its arrival rate evenly over each member module's replicas
+        (sorted-device-name order) and contributes utilization
+        ``u_n += lam * s`` and residual ``R_n += lam * s^2`` per visit with
+        service time ``s``; a device with ``c_n`` parallel slots then
+        charges ``W_n = (R_n / c_n) / (2 * (1 - min(u_n / c_n, rho_max)))``.
+        Zero arrival rates give ``W_n == 0.0`` exactly.  The tensorized
+        :class:`~repro.core.placement.tensors.WaitTensors` replays this
+        float-operation order bit-for-bit.
+        """
+        u: Dict[str, float] = {}
+        r: Dict[str, float] = {}
+        seen = set()
+        for request in requests:
+            model = request.model
+            if id(model) in seen:
+                continue
+            seen.add(id(model))
+            lam = congestion.rate_for(model.name)
+            for name in self._member_names(model):
+                hosts = placement.hosts(name)
+                if not hosts:
+                    raise RoutingError(f"module {name!r} has no hosts")
+                ordered = sorted(hosts)
+                share = lam / len(ordered)
+                for device in ordered:
+                    s = self.compute_seconds_scalar(request, name, device)
+                    load = share * s
+                    u[device] = u.get(device, 0.0) + load
+                    r[device] = r.get(device, 0.0) + load * s
+        waits: Dict[str, float] = {}
+        rho_max = congestion.rho_max
+        for device in self.problem.devices:
+            slots = device.parallel_slots
+            rho = u.get(device.name, 0.0) / slots
+            if rho > rho_max:
+                rho = rho_max
+            waits[device.name] = (r.get(device.name, 0.0) / slots) / (2.0 * (1.0 - rho))
+        return waits
+
+    def congestion_waits(
+        self, requests: Sequence[InferenceRequest], placement: Placement, congestion
+    ) -> Dict[str, float]:
+        """Per-device expected waits (tensorized when available)."""
+        tensors = self.tensors
+        if tensors is not None:
+            from repro.core.placement.tensors import WaitTensors
+
+            waits = WaitTensors(tensors, congestion).waits_for_placement(
+                requests, placement
+            )
+            return {tensors.device_names[n]: waits[n] for n in range(len(waits))}
+        return self.congestion_waits_scalar(requests, placement, congestion)
+
+    def congestion_objective(
+        self, requests: Sequence[InferenceRequest], placement: Placement, congestion
+    ) -> float:
+        """Queue-aware Problem (4a): base latency plus routed-host waits."""
+        tensors = self.tensors
+        if tensors is not None:
+            from repro.core.placement.tensors import WaitTensors
+
+            return WaitTensors(tensors, congestion).objective(requests, placement)
+        return self.congestion_objective_scalar(requests, placement, congestion)
+
+    def congestion_objective_scalar(
+        self, requests: Sequence[InferenceRequest], placement: Placement, congestion
+    ) -> float:
+        """Reference scalar queue-aware objective.
+
+        Per (model, source) class: the base Eq. 1-3 total under Eq. 7
+        routing plus one wait per distinct member module at its routed host
+        (member order), fanned out in request order — the float-operation
+        order :class:`~repro.core.placement.tensors.WaitTensors` mirrors.
+        """
+        waits = self.congestion_waits_scalar(requests, placement, congestion)
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                decision = self.route_scalar(request, placement)
+                base = self._breakdown(
+                    request, placement, decision, self.compute_seconds_scalar
+                ).total
+                wait = 0.0
+                for name in self._member_names(request.model):
+                    wait = wait + waits[decision.host_of(name)]
+                value = base + wait
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+    def _congestion_replica_best_scalar(
+        self,
+        request: InferenceRequest,
+        placement: Placement,
+        waits: Mapping[str, float],
+    ) -> Tuple[float, RoutingDecision]:
+        """Wait-aware cheapest-replica routing (scalar reference).
+
+        Identical enumeration and tie-break to :meth:`_replica_best_scalar`,
+        but each host combination is charged its hosts' expected waits on
+        top of the Eq. 1-3 total, so routing itself avoids hot devices.
+        """
+        members = self._member_names(request.model)
+        candidate_lists: List[List[str]] = []
+        for name in members:
+            hosts = placement.hosts(name)
+            if not hosts:
+                raise RoutingError(f"module {name!r} has no hosts")
+            candidate_lists.append(sorted(hosts))
+        best: Optional[Tuple[float, RoutingDecision]] = None
+        for combo in itertools.product(*candidate_lists):
+            decision = RoutingDecision(request=request, hosts=dict(zip(members, combo)))
+            total = self._breakdown(
+                request, placement, decision, self.compute_seconds_scalar
+            ).total
+            wait = 0.0
+            for device in combo:
+                wait = wait + waits[device]
+            value = total + wait
+            if best is None or value < best[0]:
+                best = (value, decision)
+        assert best is not None  # candidate_lists are all non-empty
+        return best
+
+    def congestion_replica_objective(
+        self, requests: Sequence[InferenceRequest], placement: Placement, congestion
+    ) -> float:
+        """Queue-aware cheapest-replica objective (the replica solvers'
+        congestion objective): routing minimizes latency *plus* waits."""
+        tensors = self.tensors
+        if tensors is not None:
+            from repro.core.placement.tensors import WaitTensors
+
+            return WaitTensors(tensors, congestion).replica_objective(
+                requests, placement
+            )
+        return self.congestion_replica_objective_scalar(requests, placement, congestion)
+
+    def congestion_replica_objective_scalar(
+        self, requests: Sequence[InferenceRequest], placement: Placement, congestion
+    ) -> float:
+        """Reference scalar queue-aware replica objective."""
+        waits = self.congestion_waits_scalar(requests, placement, congestion)
+        cache: Dict[Tuple[int, str], float] = {}
+        total = 0.0
+        for request in requests:
+            key = (id(request.model), request.source)
+            value = cache.get(key)
+            if value is None:
+                value = self._congestion_replica_best_scalar(
+                    request, placement, waits
+                )[0]
+                cache[key] = value
+            total = total + value
+        return float(total)
+
+    # ------------------------------------------------------------------
     # Eq. 1-3
     # ------------------------------------------------------------------
     def breakdown(

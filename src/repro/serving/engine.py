@@ -118,8 +118,7 @@ class FlatServingEngine:
         rt = self.rt
         self._loop = FlatEventLoop()
         self._cluster = build_testbed(rt.device_names, requester=rt.requester)
-        self._engine = S2M3Engine(self._cluster, rt.models, replicate=rt.replicate)
-        self._engine.deploy()
+        self._engine = rt._deploy_engine(self._cluster, trace)
         self._placement: Placement = self._engine.placement
         self._latency_model = self._engine.latency_model()
         self._network = self._cluster.network

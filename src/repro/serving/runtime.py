@@ -45,7 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.requests import InferenceRequest
 from repro.cluster.topology import build_testbed
-from repro.core.engine import S2M3Engine
+from repro.core.engine import PlacementAlgorithm, S2M3Engine
 from repro.core.placement.adaptive import AdaptivePlacementController
 from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.problem import Placement, PlacementProblem
@@ -264,6 +264,18 @@ class ServingRuntime:
             embedding transfer (co-located hops free, matching
             :mod:`repro.profiles.energy`).  Deployment-phase model loading
             is out of scope: the ledger covers the serving run itself.
+        congestion_aware: Plan the deployment with the queue-aware exact
+            solver instead of greedy Algorithm 1: arrival rates measured
+            from the trace (:meth:`CongestionModel.from_trace`) price each
+            device's M/G/1-style expected wait into the placement
+            objective, so the solver optimizes what ``serve`` measures
+            under load rather than empty-cluster latency (see
+            ``docs/placement.md``).  Both engines plan identically —
+            reports stay bit-identical across ``engine="flat"`` and
+            ``engine="processes"``.
+        placement_algorithm: Custom planner forwarded to
+            :class:`~repro.core.engine.S2M3Engine` (mutually exclusive
+            with ``congestion_aware``, which installs its own).
 
     Every ``run`` builds a fresh cluster and simulator (clock at 0), so the
     same runtime object can serve many traces; with identical arguments and
@@ -291,6 +303,8 @@ class ServingRuntime:
         max_events: Optional[int] = None,
         keep_records: bool = True,
         track_energy: bool = True,
+        congestion_aware: bool = False,
+        placement_algorithm: Optional[PlacementAlgorithm] = None,
     ) -> None:
         if not models:
             raise ValueError("need at least one model to serve")
@@ -312,6 +326,11 @@ class ServingRuntime:
             raise ValueError(f"engine must be 'flat' or 'processes', got {engine!r}")
         if max_events is not None and max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
+        if congestion_aware and placement_algorithm is not None:
+            raise ValueError(
+                "congestion_aware installs its own placement algorithm; "
+                "pass one or the other, not both"
+            )
         self.models = list(models)
         self.device_names = list(device_names) if device_names is not None else edge_device_names()
         self.requester = requester
@@ -338,6 +357,47 @@ class ServingRuntime:
         self.max_events = max_events
         self.keep_records = keep_records
         self.track_energy = track_energy
+        self.congestion_aware = congestion_aware
+        self.placement_algorithm = placement_algorithm
+
+    # ==================================================================
+    # Deployment (shared by both engines)
+    # ==================================================================
+    def _deploy_engine(self, cluster, trace: ArrivalTrace) -> S2M3Engine:
+        """Build, plan, and deploy the S2M3 engine for one run.
+
+        The single deployment path for both serving cores, so planner
+        choices (``congestion_aware``, ``placement_algorithm``) cannot
+        fork the engines: identical config + trace ⇒ identical placement.
+        """
+        algorithm = self.placement_algorithm
+        if self.congestion_aware:
+            # Imported lazily to keep the core solver stack out of the
+            # serving module's import graph unless the flag is used.
+            from repro.core.placement.optimal import optimal_placement
+            from repro.core.placement.tensors import CongestionModel
+
+            congestion = CongestionModel.from_trace(trace)
+
+            def algorithm(problem: PlacementProblem) -> Placement:
+                # request_id=-1 keeps solver-only scoring requests from
+                # bumping the process-global request counter (bit-identity
+                # of served request ids across configurations).
+                requests = [
+                    InferenceRequest(model=spec, source=cluster.requester, request_id=-1)
+                    for spec in problem.models
+                ]
+                placement, _ = optimal_placement(
+                    problem, requests, network=cluster.network, congestion=congestion
+                )
+                return placement
+
+        engine = S2M3Engine(
+            cluster, self.models, replicate=self.replicate,
+            placement_algorithm=algorithm,
+        )
+        engine.deploy()
+        return engine
 
     # ==================================================================
     # Run
@@ -372,8 +432,7 @@ class ServingRuntime:
         """The legacy engine: one generator process per request per hop."""
         self._cluster = build_testbed(self.device_names, requester=self.requester)
         self._sim = self._cluster.sim
-        self._engine = S2M3Engine(self._cluster, self.models, replicate=self.replicate)
-        self._engine.deploy()
+        self._engine = self._deploy_engine(self._cluster, trace)
         self._placement: Placement = self._engine.placement
         self._latency_model = self._engine.latency_model()
         self._live: Set[str] = set(self._cluster.device_names)

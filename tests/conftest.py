@@ -1,10 +1,51 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and seeded instance generators for the test suite."""
+
+import dataclasses
 
 import pytest
 
 from repro.cluster.topology import build_testbed
+from repro.core.placement.problem import PlacementProblem
 from repro.models.zoo import DEFAULT_ZOO
 from repro.profiles.devices import edge_device_names, testbed_device_names
+from repro.utils.seeding import rng_for
+
+
+def seeded_noisy_problem(
+    namespace, models, seed, sigma=0.06, devices=None, devices_in_key=True
+):
+    """A paper-scale instance with seeded lognormal compute noise.
+
+    The single definition of the generator formerly duplicated across
+    ``tests/test_placement_tensors.py`` / ``tests/test_replicas.py`` /
+    ``tests/test_energy.py``.  The rng key layout is part of each suite's
+    frozen draw history: ``namespace`` selects the stream and
+    ``devices_in_key`` keeps the legacy key shapes intact
+    (``(*models, len(devices), seed)`` for the tensor/energy suites,
+    ``(*models, seed)`` for the replica suite).  The full key is printed so
+    a failing property test reports exactly which instance broke —
+    pytest surfaces the captured line on failure only.
+    """
+    device_names = list(devices) if devices is not None else edge_device_names()
+    base = PlacementProblem.from_models(models, device_names)
+    key = (*models, len(device_names), seed) if devices_in_key else (*models, seed)
+    print(
+        f"seeded instance: namespace={namespace!r} key={key} "
+        f"devices={device_names} sigma={sigma}"
+    )
+    rng = rng_for(namespace, *key)
+    noise = {
+        (module.name, device.name): float(rng.lognormal(0.0, sigma))
+        for module in base.modules
+        for device in base.devices
+    }
+    return dataclasses.replace(base, compute_noise=noise)
+
+
+@pytest.fixture
+def noisy_problem_factory():
+    """The seeded instance generator, as a fixture for new suites."""
+    return seeded_noisy_problem
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,6 @@ the serving class proves the active/idle ledger integrates the wall clock
 exactly.
 """
 
-import dataclasses
 import time
 
 import pytest
@@ -33,16 +32,11 @@ from repro.profiles.energy import (
 from repro.utils.errors import PlacementError
 from repro.utils.seeding import rng_for
 
+from conftest import seeded_noisy_problem
+
 
 def noisy_problem(models, devices, seed, sigma=0.06):
-    base = PlacementProblem.from_models(models, devices)
-    rng = rng_for("energy-prop", *models, len(devices), seed)
-    noise = {
-        (module.name, device.name): float(rng.lognormal(0.0, sigma))
-        for module in base.modules
-        for device in base.devices
-    }
-    return dataclasses.replace(base, compute_noise=noise)
+    return seeded_noisy_problem("energy-prop", models, seed, sigma=sigma, devices=devices)
 
 
 def manual_request_energy(request, placement, model):

@@ -5,8 +5,6 @@ scalar reference paths — same floats, same argmin, same tie-breaks — so
 these tests compare with ``==`` on floats, not ``pytest.approx``.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.cluster.network import Network
@@ -28,6 +26,8 @@ from repro.profiles.devices import testbed_device_names as _testbed_device_names
 from repro.utils.errors import PlacementError
 from repro.utils.seeding import rng_for
 
+from conftest import seeded_noisy_problem
+
 #: Randomized paper-scale instances: (models, devices, noise seed).
 MODEL_SETS = [
     ["clip-vit-b16"],
@@ -40,14 +40,7 @@ MODEL_SETS = [
 
 
 def noisy_problem(models, devices, seed, sigma=0.06):
-    base = PlacementProblem.from_models(models, devices)
-    rng = rng_for("tensor-prop", *models, len(devices), seed)
-    noise = {
-        (module.name, device.name): float(rng.lognormal(0.0, sigma))
-        for module in base.modules
-        for device in base.devices
-    }
-    return dataclasses.replace(base, compute_noise=noise)
+    return seeded_noisy_problem("tensor-prop", models, seed, sigma=sigma, devices=devices)
 
 
 def paper_scale_instances():

@@ -6,8 +6,6 @@ cheapest-replica pricing must match the scalar reference **bit-for-bit**
 brute-force enumeration's exact placement, objective, and tie-break.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.cluster.network import Network
@@ -28,7 +26,8 @@ from repro.core.routing.latency import LatencyModel
 from repro.experiments.scaling import synthetic_instance
 from repro.profiles.devices import edge_device_names
 from repro.utils.errors import PlacementError
-from repro.utils.seeding import rng_for
+
+from conftest import seeded_noisy_problem
 
 MODEL_SETS = [
     ["clip-vit-b16"],
@@ -39,14 +38,9 @@ SOURCES = ("jetson-a", "desktop")
 
 
 def noisy_problem(models, seed, sigma=0.06):
-    base = PlacementProblem.from_models(models, edge_device_names())
-    rng = rng_for("replica-prop", *models, seed)
-    noise = {
-        (module.name, device.name): float(rng.lognormal(0.0, sigma))
-        for module in base.modules
-        for device in base.devices
-    }
-    return dataclasses.replace(base, compute_noise=noise)
+    return seeded_noisy_problem(
+        "replica-prop", models, seed, sigma=sigma, devices_in_key=False
+    )
 
 
 def requests_for(models):

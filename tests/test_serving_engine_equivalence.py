@@ -112,6 +112,20 @@ CONFIGS = [
         dict(kind="bursty", runtime_kwargs=dict(max_batch_size=1), seed=13),
         id="bursty-no-batching",
     ),
+    # Congestion-aware deployment: the queue-aware planner closure runs
+    # inside each engine's deploy path, so any fork there shows up as a
+    # report mismatch.
+    pytest.param(
+        dict(kind="bursty", rate=1.2, seed=17,
+             runtime_kwargs=dict(congestion_aware=True, replicate=False)),
+        id="bursty-congestion-aware",
+    ),
+    pytest.param(
+        dict(kind="poisson", rate=0.8, seed=19,
+             runtime_kwargs=dict(congestion_aware=True,
+                                 slo=SLOPolicy(admission=False))),
+        id="poisson-congestion-aware-no-admission",
+    ),
 ]
 
 

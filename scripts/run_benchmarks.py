@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the placement perf benchmarks; emit ``BENCH_placement.json``,
 ``BENCH_energy.json``, ``BENCH_replicas.json``, ``BENCH_serving.json``,
-and ``BENCH_validation.json``.
+``BENCH_validation.json``, and ``BENCH_resilience.json``.
 
 This is the repo's recorded perf trajectory: the instance-size sweep
 (scalar vs. tensorized objective, brute force vs. branch-and-bound), a
@@ -14,7 +14,10 @@ serving-engine sweep (the flat vectorized event loop vs. the legacy
 generator-process engine at 100k-arrival scale, plus a flat-only
 million-arrival replay, see ``docs/serving.md``), and the queue-aware
 solver-vs-serving validation sweep (predicted vs serving-measured latency
-on queue-aware and queue-blind placements, see ``docs/performance.md``).
+on queue-aware and queue-blind placements, see ``docs/performance.md``),
+and the fault-scenario resilience study (named fault scenarios served
+with and without graceful degradation, with conservation, engine-identity
+and determinism gates, see ``docs/serving.md``).
 The checked-in JSONs are regenerated with::
 
     python scripts/run_benchmarks.py
@@ -22,7 +25,8 @@ The checked-in JSONs are regenerated with::
 and CI runs the trimmed ``--smoke`` variant on every push (writing
 ``BENCH_smoke.json`` / ``BENCH_energy_smoke.json`` /
 ``BENCH_replicas_smoke.json`` / ``BENCH_serving_smoke.json`` /
-``BENCH_validation_smoke.json``), uploading
+``BENCH_validation_smoke.json`` / ``BENCH_resilience_smoke.json``),
+uploading
 the JSONs as artifacts so the trend is inspectable per commit.  See
 ``docs/performance.md`` for the schema and how to read the numbers.
 """
@@ -486,6 +490,100 @@ def bench_serving_replay(kind: str, rate_rps: float, duration_s: float, *, seed:
     }
 
 
+def _report_digest(report) -> tuple:
+    """Everything two runs must agree on, with request ids rebased (the
+    engine's id counter is process-global, so back-to-back runs of the
+    same trace number their requests from different offsets)."""
+    base = min((r.request_id for r in report.records if r.request_id >= 0), default=0)
+    records = tuple(
+        (
+            r.request_id - base if r.request_id >= 0 else r.request_id,
+            r.model_name, r.arrival_time, r.finish_time, r.slo_s,
+            r.rejected_reason, r.retries, r.timed_out,
+        )
+        for r in report.records
+    )
+    return (
+        report.metrics_tuple(), records, tuple(report.migrations),
+        tuple(report.churn), tuple(report.scaling), tuple(report.brownout),
+    )
+
+
+def bench_resilience(smoke: bool) -> dict:
+    """Fault scenarios with and without graceful degradation (gated).
+
+    Runs the SAME study as ``python -m repro resilience``
+    (:func:`repro.experiments.resilience.run_resilience_study` — one
+    definition, no drift).  Gates recorded in the payload: (a) widened
+    conservation ``completed + rejected + timed_out == arrivals`` on every
+    (scenario, configuration) cell, (b) the graceful configuration
+    (timeouts + retry budget + brownout) beating the degradation-off
+    baseline on goodput **or** p95 in the regional-outage and straggler
+    rows, (c) the flat and legacy engines bit-identical under a faulted,
+    degradation-on run, and (d) same seed ⇒ identical fault trace and
+    metrics.  The study itself is sub-second, so smoke and full runs share
+    the exact same parameters — one record, no drifting smoke variant.
+    """
+    from repro.experiments.resilience import (
+        STUDY_DURATION_S,
+        STUDY_RATE_RPS,
+        STUDY_SEED,
+        run_resilience_study,
+    )
+
+    start = time.perf_counter()
+    reports = run_resilience_study()
+    result = {
+        "workload": "bursty",
+        "rate_rps": STUDY_RATE_RPS,
+        "duration_s": STUDY_DURATION_S,
+        "seed": STUDY_SEED,
+        "arrivals": reports[0][2].arrivals,
+        "scenarios": {},
+    }
+    for scenario, key, report in reports:
+        cell = result["scenarios"].setdefault(scenario, {})
+        cell[key] = {
+            "goodput_rps": round(report.goodput_rps, 6),
+            "p50_s": round(report.latency.p50, 4),
+            "p95_s": round(report.latency.p95, 4),
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "timed_out": report.timed_out,
+            "retries": sum(r.retries for r in report.records),
+            "brownout_level_changes": len(report.brownout),
+            "migrations": len(report.migrations),
+            "conservation_ok": (
+                report.completed + report.rejected + report.timed_out
+                == report.arrivals
+            ),
+        }
+    for scenario, cell in result["scenarios"].items():
+        cell["graceful_beats_baseline"] = (
+            cell["graceful"]["goodput_rps"] > cell["baseline"]["goodput_rps"]
+            or cell["graceful"]["p95_s"] < cell["baseline"]["p95_s"]
+        )
+
+    # Gate (c): flat vs legacy bit-identity on a faulted, degradation-on
+    # run (the equivalence tests pin more configurations; this records the
+    # cross-check in the trajectory).
+    flat, legacy = (
+        run_resilience_study(scenarios=["regional-outage"], engine=engine)[1][2]
+        for engine in ("flat", "processes")
+    )
+    result["engines_bit_identical"] = _report_digest(flat) == _report_digest(legacy)
+
+    # Gate (d): same seed, same study call ⇒ identical fault trace and
+    # metrics (the whole pipeline is deterministic, not just seeded).
+    rerun = run_resilience_study()
+    result["deterministic"] = all(
+        _report_digest(a[2]) == _report_digest(b[2])
+        for a, b in zip(reports, rerun)
+    )
+    result["wall_s"] = round(time.perf_counter() - start, 4)
+    return result
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -523,6 +621,12 @@ def main() -> int:
         "BENCH_validation.json for full runs, BENCH_validation_smoke.json "
         "for --smoke)",
     )
+    parser.add_argument(
+        "--resilience-output", type=Path, default=None,
+        help="where to write the fault-scenario resilience JSON (default: "
+        "BENCH_resilience.json for full runs, BENCH_resilience_smoke.json "
+        "for --smoke)",
+    )
     args = parser.parse_args()
     if args.output is None:
         args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
@@ -541,6 +645,10 @@ def main() -> int:
     if args.validation_output is None:
         args.validation_output = REPO_ROOT / (
             "BENCH_validation_smoke.json" if args.smoke else "BENCH_validation.json"
+        )
+    if args.resilience_output is None:
+        args.resilience_output = REPO_ROOT / (
+            "BENCH_resilience_smoke.json" if args.smoke else "BENCH_resilience.json"
         )
 
     import numpy
@@ -641,6 +749,18 @@ def main() -> int:
     args.validation_output.write_text(json.dumps(validation_results, indent=2) + "\n")
     print(f"wrote {args.validation_output}")
 
+    print("fault-scenario resilience study ...", flush=True)
+    resilience_results = {
+        "benchmark": "fault-resilience",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+    resilience_results.update(bench_resilience(args.smoke))
+    args.resilience_output.write_text(json.dumps(resilience_results, indent=2) + "\n")
+    print(f"wrote {args.resilience_output}")
+
     failures = []
     for row in results["objective_sweep"]:
         if not row["bit_identical"]:
@@ -709,6 +829,29 @@ def main() -> int:
         failures.append(
             "validation: queue-aware bnb does not match brute force on the "
             "deployment instance"
+        )
+    for scenario, cell in resilience_results["scenarios"].items():
+        for key in ("baseline", "graceful"):
+            if not cell[key]["conservation_ok"]:
+                failures.append(
+                    f"resilience: conservation violated ({scenario}/{key})"
+                )
+        if scenario in ("regional-outage", "flash-crowd-stragglers") and not cell[
+            "graceful_beats_baseline"
+        ]:
+            failures.append(
+                f"resilience: graceful degradation does not beat the "
+                f"degradation-off baseline on goodput or p95 ({scenario})"
+            )
+    if not resilience_results["engines_bit_identical"]:
+        failures.append(
+            "resilience: flat and legacy engines disagree under a faulted, "
+            "degradation-on run"
+        )
+    if not resilience_results["deterministic"]:
+        failures.append(
+            "resilience: same-seed rerun produced a different fault trace "
+            "or metrics"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -103,6 +103,12 @@ def _validation() -> str:
     return render_validation()
 
 
+def _resilience() -> str:
+    from repro.experiments.resilience import render_resilience
+
+    return render_resilience()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table6": _table6,
     "table7": _table7,
@@ -117,6 +123,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "extensions": _extensions,
     "energy": _energy,
     "replicas": _replicas,
+    "resilience": _resilience,
     "validation": _validation,
 }
 
@@ -129,10 +136,14 @@ def serve_main(argv=None) -> int:
     """The ``serve`` subcommand: run the online serving runtime."""
     from repro.serving import (
         WORKLOAD_KINDS,
+        BrownoutPolicy,
+        RetryPolicy,
         ServingRuntime,
         SLOPolicy,
         WorkloadGenerator,
+        fault_scenario,
         generate_churn,
+        scenario_names,
     )
 
     def positive(text: str) -> float:
@@ -159,6 +170,22 @@ def serve_main(argv=None) -> int:
                         help="arrival window in simulated seconds (default: 60)")
     parser.add_argument("--churn", type=non_negative, default=0.0,
                         help="device fail/recover events per simulated second (default: 0)")
+    parser.add_argument("--faults", choices=scenario_names(), default=None,
+                        help="inject a named fault scenario (seeded by --seed): "
+                        "correlated regional outage, staggered compute stragglers, "
+                        "or flaky/partitioning links — see docs/serving.md")
+    parser.add_argument("--timeout", type=positive, default=None, metavar="SECONDS",
+                        help="per-attempt timeout: cancel and re-route a module attempt "
+                        "still unfinished after this many simulated seconds (default: off)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="total retry budget per request across timeouts and device "
+                        "losses; exhausted requests terminate as timed out (default: unlimited)")
+    parser.add_argument("--retry-backoff", type=non_negative, default=0.0, metavar="SECONDS",
+                        help="exponential backoff base before each retry (default: 0)")
+    parser.add_argument("--brownout", action="store_true",
+                        help="enable the brownout controller: under backlog pressure, "
+                        "shed the lowest-SLO-slack model classes first, restoring them "
+                        "as pressure drains (hysteresis) — see docs/serving.md")
     parser.add_argument("--seed", type=int, default=0,
                         help="determinism seed for workload and churn (default: 0)")
     parser.add_argument("--models", default=DEFAULT_SERVE_MODELS,
@@ -210,6 +237,8 @@ def serve_main(argv=None) -> int:
         parser.error("--slo-multiplier must be >= 1")
     if args.max_replicas < 1:
         parser.error("--max-replicas must be >= 1")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
     trace = WorkloadGenerator(
         models,
         kind=args.workload,
@@ -230,6 +259,12 @@ def serve_main(argv=None) -> int:
         max_replicas=args.max_replicas,
         engine=args.engine,
         congestion_aware=args.congestion_aware,
+        retry=RetryPolicy(
+            timeout_s=args.timeout,
+            max_retries=args.max_retries,
+            backoff_s=args.retry_backoff,
+        ),
+        brownout=BrownoutPolicy() if args.brownout else None,
     )
     churn = generate_churn(
         runtime.device_names,
@@ -238,7 +273,12 @@ def serve_main(argv=None) -> int:
         duration_s=args.duration,
         seed=args.seed,
     )
-    report = runtime.run(trace, churn)
+    faults = (
+        fault_scenario(args.faults, duration_s=args.duration, seed=args.seed)
+        if args.faults
+        else None
+    )
+    report = runtime.run(trace, churn, faults=faults)
     print(report.render(show_energy=args.energy))
     return 0
 

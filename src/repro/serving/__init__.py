@@ -1,38 +1,63 @@
-"""Online serving runtime: dynamic workloads, SLOs, and device churn.
+"""Online serving runtime: dynamic workloads, SLOs, faults, degradation.
 
 The batch experiments evaluate one-shot request sets; this package serves
-*streams*.  Compose it from four pieces:
+*streams*.  Compose it from five pieces:
 
 - :class:`WorkloadGenerator` / :class:`ArrivalTrace` — seeded Poisson,
   bursty (MMPP), and diurnal arrival processes over the model catalog.
 - :class:`SLOPolicy` — per-request deadlines and admission control.
-- :func:`generate_churn` / :class:`DeviceChurnEvent` — seeded device
-  fail/recover schedules.
+- :class:`FaultPlan` / :func:`fault_scenario` — typed, seeded fault
+  injection: device crash/recover (subsuming the legacy
+  :func:`generate_churn` schedules), straggler slowdowns, link
+  degradation/cuts, and correlated regional outages.
+- :class:`RetryPolicy` / :class:`BrownoutPolicy` — graceful degradation:
+  per-attempt timeouts with a bounded retry budget (exhausted requests
+  terminate as *timed out*, the report's third terminal state), and
+  backlog-pressure admission tiering that sheds the lowest-SLO-slack model
+  classes first.
 - :class:`ServingRuntime` — drives the serving run with the queue-aware
   router, per-(module, device) micro-batching, SLO admission, and adaptive
-  re-placement under churn; returns a :class:`ServingReport` with
+  re-placement under faults; returns a :class:`ServingReport` with
   p50/p95/p99 latency, goodput, and SLO attainment.  Two interchangeable
   cores: the vectorized :class:`FlatServingEngine` event loop (default,
   ``engine="flat"``) and the legacy generator-process engine
-  (``engine="processes"``) — bit-identical reports either way.
+  (``engine="processes"``) — bit-identical reports either way, faulted
+  or not.
 
 Quickstart::
 
-    from repro.serving import ServingRuntime, WorkloadGenerator, generate_churn
+    from repro.serving import (
+        BrownoutPolicy, RetryPolicy, ServingRuntime, WorkloadGenerator,
+        fault_scenario,
+    )
 
     models = ["clip-vit-b16", "encoder-vqa-small"]
     trace = WorkloadGenerator(models, kind="bursty", rate_rps=0.4,
                               duration_s=60.0, seed=0).generate()
-    churn = generate_churn(["desktop", "laptop", "jetson-b", "jetson-a"],
-                           requester="jetson-a", rate_per_s=0.05,
-                           duration_s=60.0, seed=0)
-    report = ServingRuntime(models).run(trace, churn)
+    plan = fault_scenario("regional-outage", duration_s=60.0, seed=0)
+    runtime = ServingRuntime(
+        models,
+        retry=RetryPolicy(timeout_s=8.0, max_retries=4),
+        brownout=BrownoutPolicy(),
+    )
+    report = runtime.run(trace, faults=plan)
     print(report.render())
 """
 
 from repro.serving.churn import FAIL, RECOVER, DeviceChurnEvent, generate_churn
 from repro.serving.engine import FlatServingEngine
+from repro.serving.faults import (
+    BrownoutPolicy,
+    FaultEvent,
+    FaultPlan,
+    compile_faults,
+    crash,
+    degrade_link,
+    regional_outage,
+    slowdown,
+)
 from repro.serving.report import (
+    BrownoutRecord,
     ChurnRecord,
     DeviceEnergy,
     EnergyReport,
@@ -42,21 +67,27 @@ from repro.serving.report import (
     ServingReport,
 )
 from repro.serving.runtime import ServingRuntime, StreamingQueueAwareRouter
-from repro.serving.slo import SLOPolicy
+from repro.serving.scenarios import fault_scenario, scenario_names
+from repro.serving.slo import RetryPolicy, SLOPolicy
 from repro.serving.workload import WORKLOAD_KINDS, Arrival, ArrivalTrace, WorkloadGenerator
 
 __all__ = [
     "Arrival",
     "ArrivalTrace",
+    "BrownoutPolicy",
+    "BrownoutRecord",
     "ChurnRecord",
     "DeviceChurnEvent",
     "DeviceEnergy",
     "EnergyReport",
     "FAIL",
+    "FaultEvent",
+    "FaultPlan",
     "FlatServingEngine",
     "RECOVER",
     "MigrationRecord",
     "RequestRecord",
+    "RetryPolicy",
     "ScalingRecord",
     "SLOPolicy",
     "ServingReport",
@@ -64,5 +95,12 @@ __all__ = [
     "StreamingQueueAwareRouter",
     "WORKLOAD_KINDS",
     "WorkloadGenerator",
+    "compile_faults",
+    "crash",
+    "degrade_link",
+    "fault_scenario",
     "generate_churn",
+    "regional_outage",
+    "scenario_names",
+    "slowdown",
 ]

@@ -18,6 +18,7 @@ infeasible failure is skipped and recorded, never silently applied.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -39,8 +40,12 @@ class DeviceChurnEvent:
     def __post_init__(self) -> None:
         if self.kind not in (FAIL, RECOVER):
             raise ValueError(f"kind must be {FAIL!r} or {RECOVER!r}, got {self.kind!r}")
+        if not isinstance(self.time, (int, float)) or not math.isfinite(self.time):
+            raise ValueError(f"time must be a finite number, got {self.time!r}")
         if self.time < 0:
             raise ValueError(f"time must be non-negative, got {self.time}")
+        if not self.device:
+            raise ValueError("device name must be non-empty")
 
 
 def generate_churn(
@@ -56,10 +61,14 @@ def generate_churn(
     Deterministic for a given ``seed``.  Returns an empty tuple when
     ``rate_per_s`` is 0.  Raises :class:`ValueError` for a negative rate.
     """
+    if not math.isfinite(rate_per_s):
+        raise ValueError(f"rate_per_s must be finite, got {rate_per_s}")
     if rate_per_s < 0:
         raise ValueError(f"rate_per_s must be non-negative, got {rate_per_s}")
     if rate_per_s == 0:
         return ()
+    if not math.isfinite(duration_s):
+        raise ValueError(f"duration_s must be finite, got {duration_s}")
     if duration_s <= 0:
         raise ValueError(f"duration_s must be positive, got {duration_s}")
     rng = rng_for("serving-churn", seed)

@@ -12,7 +12,7 @@ generator frame plus several Event objects per request per hop; here a hop
 is one function call, which is what lets one run replay millions of
 arrivals.
 
-**Bit-identity contract.**  Same runtime config + same trace + same churn
+**Bit-identity contract.**  Same runtime config + same trace + same fault
 schedule ⇒ a :class:`~repro.serving.report.ServingReport` identical to the
 legacy engine's, record for record.  This holds because the flat engine is
 an *event-order-faithful* translation, not a re-modeling:
@@ -39,7 +39,7 @@ never *which* float.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -51,8 +51,10 @@ from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.problem import Placement, PlacementProblem
 from repro.core.routing.latency import RoutingDecision
 from repro.profiles.energy import resolve_energy_profile
-from repro.serving.churn import FAIL, DeviceChurnEvent
+from repro.serving.churn import FAIL, RECOVER
+from repro.serving.faults import LINK_DEGRADE, SLOW, SLOW_END, FaultEvent
 from repro.serving.report import (
+    BrownoutRecord,
     ChurnRecord,
     DeviceEnergy,
     EnergyReport,
@@ -96,9 +98,14 @@ class _ModelInfo:
         self.out_bytes = out_bytes
 
 
-#: Job tuple layout: (is_head, arrival_index, encoder_path, est_service,
-#: model_info_index).  A plain tuple — a million queued jobs stay cheap.
-_IS_HEAD, _IDX, _PATH, _EST, _MODEL = range(5)
+#: Job layout: [is_head, arrival_index, encoder_path, est_service,
+#: model_info_index, cancelled, notified, queue_key].  A plain list — a
+#: million queued jobs stay cheap, and the three mutable tail slots mirror
+#: the legacy ``_Job`` watchdog flags (``cancelled`` marks an attempt
+#: abandoned by its retry watchdog; ``notified`` guards the one-shot
+#: completion against double firing; ``key`` is the micro-batch queue the
+#: job sits in once enqueued, None before).
+_IS_HEAD, _IDX, _PATH, _EST, _MODEL, _CANCELLED, _NOTIFIED, _KEY = range(8)
 
 
 class FlatServingEngine:
@@ -113,7 +120,7 @@ class FlatServingEngine:
     def run(
         self,
         trace: ArrivalTrace,
-        churn_events: Iterable[DeviceChurnEvent] = (),
+        fault_events: Sequence[FaultEvent] = (),
     ) -> ServingReport:
         rt = self.rt
         self._loop = FlatEventLoop()
@@ -127,6 +134,9 @@ class FlatServingEngine:
         self._dev_index = {name: i for i, name in enumerate(self._device_names)}
         self._requester = self._cluster.requester
         self._live: Set[str] = set(self._cluster.device_names)
+        self._crashed: Set[str] = set()
+        self._slow: Dict[str, float] = {name: 1.0 for name in self._device_names}
+        self._retry = rt.retry
         self._module_specs = self._engine.module_specs
         self._sorted_modules = sorted(self._module_specs)
 
@@ -155,6 +165,9 @@ class FlatServingEngine:
         self._churn_log: List[ChurnRecord] = []
         self._scaling_log: List[ScalingRecord] = []
         self._pending_adds: Set[str] = set()
+        self._brownout_level = 0
+        self._brownout_shed: frozenset = frozenset()
+        self._brownout_log: List[BrownoutRecord] = []
         self._controller = AdaptivePlacementController(
             self._network, expected_requests=rt.adapt_expected_requests
         )
@@ -211,24 +224,30 @@ class FlatServingEngine:
         self._enc_hosts = np.full((n, max(1, max_enc)), -1, dtype=np.int16)
         self._enc_tried = np.zeros((n, max(1, max_enc)), dtype=bool)
         self._head_tried = np.zeros(n, dtype=bool)
+        self._timed_out = np.zeros(n, dtype=bool)
         self._rejected: List[Optional[str]] = [None] * n
         self._unresolved = n
+        if rt.brownout is not None:
+            self._brownout_rank = self._brownout_ranking()
 
         # Entry order mirrors the legacy process bootstraps — arrivals in
-        # trace order, then the churn waiter, then the autoscale tick — so
-        # same-time continuations keep the legacy counter interleaving to
-        # the last ulp.  Arrivals are scheduled directly at their times
-        # (insertion order alone fixes the relative sequence; the t=0
-        # trampoline pop the legacy engine pays per request is skipped).
+        # trace order, then the fault walker, then the brownout tick, then
+        # the autoscale tick — so same-time continuations keep the legacy
+        # counter interleaving to the last ulp.  Arrivals are scheduled
+        # directly at their times (insertion order alone fixes the relative
+        # sequence; the t=0 trampoline pop the legacy engine pays per
+        # request is skipped).  The fault stream arrives pre-sorted from
+        # compile_faults, exactly as the legacy engine receives it.
         loop = self._loop
         push_at = loop.push_at
         on_arrival = self._on_arrival
         for idx, t in enumerate(self._arrival_times.tolist()):
             push_at(t, on_arrival, idx)
-        ordered_churn = sorted(churn_events, key=lambda e: (e.time, e.device))
-        if ordered_churn:
-            self._churn_events = ordered_churn
-            loop.push(0.0, self._churn_advance, 0)
+        if fault_events:
+            self._fault_events = list(fault_events)
+            loop.push(0.0, self._fault_advance, 0)
+        if rt.brownout is not None and trace.arrivals:
+            loop.push(0.0, self._brownout_gate)
         if rt.autoscale and trace.arrivals:
             loop.push(0.0, self._autoscale_gate)
 
@@ -281,12 +300,24 @@ class FlatServingEngine:
             if rt.slo.admission:
                 self._reject(idx, "no live host for a required module")
                 return
+            if model_name in self._brownout_shed:
+                self._reject(
+                    idx,
+                    f"brownout level {self._brownout_level}: shedding {model_name}",
+                )
+                return
         else:
             slo_s = self._slo_cache.get(isolated)
             if slo_s is None:
                 slo_s = rt.slo.slo_for(isolated)
                 self._slo_cache[isolated] = slo_s
             self._slo[idx] = slo_s
+            if model_name in self._brownout_shed:
+                self._reject(
+                    idx,
+                    f"brownout level {self._brownout_level}: shedding {model_name}",
+                )
+                return
             predicted = isolated + self._queue_pressure(info)
             if not rt.slo.admit(predicted, slo_s):
                 reason = self._reject_reason_cache.get((predicted, slo_s))
@@ -323,6 +354,11 @@ class FlatServingEngine:
     # Encoder paths
     # ==================================================================
     def _enc_route(self, idx: int, path: int) -> None:
+        if self._timed_out[idx]:
+            # A sibling path exhausted the shared retry budget; mirror the
+            # legacy generator's loop-top return (one completion event).
+            self._loop.push(0.0, self._enc_path_ended, idx)
+            return
         info = self._infos[self._info_of[idx]]
         host = self._route_module(info, info.encoders[path], reserve=True)
         if host is None:
@@ -332,31 +368,62 @@ class FlatServingEngine:
             self._retries[idx] += 1
         else:
             self._enc_tried[idx, path] = True
+        # The job is created at routing time so the retry watchdog covers
+        # the transfer leg too, and its estimated service is priced at the
+        # same instant the router reserved it (straggler-safe ledger).
+        est = self._svc(info, info.encoders[path], host) * self._slow[host]
+        job = [False, idx, path, est, info.index, False, False, None]
+        if self._retry.timeout_s is not None:
+            self._loop.push(self._retry.timeout_s, self._watch_fire, job)
         if self._nic_busy:
-            self._nic_waiters.append((idx, path, host))
+            self._nic_waiters.append((job, host))
         else:
             self._nic_busy = True
-            self._loop.push(0.0, self._enc_send, idx, path, host)
+            self._loop.push(0.0, self._enc_send, job, host)
 
-    def _enc_send(self, idx: int, path: int, host: str) -> None:
-        info = self._infos[self._info_of[idx]]
-        seconds = self._transfer_seconds(self._requester, host, info.payloads[path])
+    def _enc_send(self, job: list, host: str) -> None:
+        if job[_CANCELLED] or not self._network.has_path(self._requester, host):
+            # Timed out while waiting for the uplink, or a partition keeps
+            # the payload from landing: hold the nic for zero seconds.
+            self._enc_after_send(job, host, False)
+            return
+        info = self._infos[job[_MODEL]]
+        seconds = self._transfer_seconds(self._requester, host, info.payloads[job[_PATH]])
         if seconds > 0:
-            self._loop.push(seconds, self._enc_after_send, idx, path, host)
+            self._loop.push(seconds, self._enc_after_send, job, host, True)
         else:
-            self._enc_after_send(idx, path, host)
+            self._enc_after_send(job, host, True)
 
-    def _enc_after_send(self, idx: int, path: int, host: str) -> None:
+    def _enc_after_send(self, job: list, host: str, sent: bool = True) -> None:
         if self._nic_waiters:
-            widx, wpath, whost = self._nic_waiters.popleft()
-            self._loop.push(0.0, self._enc_send, widx, wpath, whost)
+            wjob, whost = self._nic_waiters.popleft()
+            self._loop.push(0.0, self._enc_send, wjob, whost)
         else:
             self._nic_busy = False
-        info = self._infos[self._info_of[idx]]
-        self._charge_radio(self._requester, host, info.payloads[path])
-        module_name = info.encoders[path]
-        est = self._svc(info, module_name, host)
-        self._enqueue(module_name, host, (False, idx, path, est, info.index))
+        info = self._infos[job[_MODEL]]
+        path = job[_PATH]
+        if sent:
+            self._charge_radio(self._requester, host, info.payloads[path])
+        if job[_CANCELLED] or not sent:
+            # Undo the routing reservation and retry, like a device loss.
+            self._release(host, job[_EST])
+            self._enc_failed(job)
+            return
+        self._enqueue(info.encoders[path], host, job)
+
+    def _enc_failed(self, job: list) -> None:
+        """One encoder attempt failed (flush, stale batch, timeout, or an
+        undeliverable transfer): spend a retry or end the request."""
+        idx = job[_IDX]
+        if not self._retry.allows_retry(int(self._retries[idx])):
+            self._timed_out[idx] = True
+            self._loop.push(0.0, self._enc_path_ended, idx)
+            return
+        delay = self._retry.backoff_delay(int(self._retries[idx]))
+        if delay > 0:
+            self._loop.push(delay, self._enc_route, idx, job[_PATH])
+            return
+        self._enc_route(idx, job[_PATH])
 
     def _enc_path_done(self, idx: int, path: int, host: str) -> None:
         self._enc_hosts[idx, path] = self._dev_index[host]
@@ -364,13 +431,28 @@ class FlatServingEngine:
         if self._pending[idx] == 0:
             self._loop.push(0.0, self._encs_joined, idx)
 
+    def _enc_path_ended(self, idx: int) -> None:
+        """An encoder path terminated without a host (retry budget spent)."""
+        self._pending[idx] -= 1
+        if self._pending[idx] == 0:
+            self._loop.push(0.0, self._encs_joined, idx)
+
     def _encs_joined(self, idx: int) -> None:
+        if self._timed_out[idx]:
+            # Terminal: the legacy request process unwinds here.
+            self._unresolved -= 1
+            return
         self._head_route(idx)
 
     # ==================================================================
     # Head path
     # ==================================================================
     def _head_route(self, idx: int) -> None:
+        if self._timed_out[idx]:
+            # Terminal: mirror the legacy _head_op loop-top return (the
+            # request process unwinds without a finish time).
+            self._unresolved -= 1
+            return
         info = self._infos[self._info_of[idx]]
         host = self._route_module(info, info.head, reserve=True)
         if host is None:
@@ -380,39 +462,84 @@ class FlatServingEngine:
             self._retries[idx] += 1
         else:
             self._head_tried[idx] = True
-        self._head_transfers(idx, host, 0)
+        est = self._svc(info, info.head, host) * self._slow[host]
+        job = [True, idx, 0, est, info.index, False, False, None]
+        if self._retry.timeout_s is not None:
+            self._loop.push(self._retry.timeout_s, self._watch_fire, job)
+        self._head_transfers(job, host, 0)
 
-    def _head_transfers(self, idx: int, host: str, start_path: int) -> None:
+    def _head_transfers(self, job: list, host: str, start_path: int) -> None:
         """Ship cached embeddings to the head's host, one hop at a time.
 
         Sequential like the legacy loop: a hop with positive transfer time
-        suspends here and resumes at ``start_path + 1`` when it lands.
+        suspends here and resumes at ``start_path + 1`` when it lands.  A
+        watchdog cancellation or a partition between an encoder's host and
+        the head abandons the attempt (reservation released, retry spent).
         """
-        info = self._infos[self._info_of[idx]]
+        info = self._infos[job[_MODEL]]
+        idx = job[_IDX]
         names = self._device_names
         path = start_path
         while path < info.n_enc:
             enc_host = names[self._enc_hosts[idx, path]]
+            if job[_CANCELLED] or not self._network.has_path(enc_host, host):
+                self._release(host, job[_EST])
+                self._head_failed(job, stranded=not job[_CANCELLED])
+                return
             seconds = self._transfer_seconds(enc_host, host, info.out_bytes[path])
             if seconds > 0:
-                self._loop.push(seconds, self._head_transfer_done, idx, host, path)
+                self._loop.push(seconds, self._head_transfer_done, job, host, path)
                 return
             self._charge_radio(enc_host, host, info.out_bytes[path])
             path += 1
-        est = self._svc(info, info.head, host)
-        self._enqueue(info.head, host, (True, idx, 0, est, info.index))
+        if job[_CANCELLED]:
+            self._release(host, job[_EST])
+            self._head_failed(job)
+            return
+        self._enqueue(info.head, host, job)
 
-    def _head_transfer_done(self, idx: int, host: str, path: int) -> None:
-        info = self._infos[self._info_of[idx]]
-        enc_host = self._device_names[self._enc_hosts[idx, path]]
+    def _head_transfer_done(self, job: list, host: str, path: int) -> None:
+        info = self._infos[job[_MODEL]]
+        enc_host = self._device_names[self._enc_hosts[job[_IDX], path]]
         self._charge_radio(enc_host, host, info.out_bytes[path])
-        self._head_transfers(idx, host, path + 1)
+        self._head_transfers(job, host, path + 1)
+
+    def _head_failed(self, job: list, stranded: bool = False) -> None:
+        """One head attempt failed: spend a retry or end the request.
+
+        ``stranded`` marks a partition failure (a cached embedding can't
+        reach the head's host): every re-route at this instant would fail
+        the same reachability check, so the retry parks on the
+        reconfiguration signal instead of spinning — a cut link is always
+        restored eventually (the fault-plan validator rejects permanent
+        cuts), and every reachability change broadcasts the signal.
+        """
+        idx = job[_IDX]
+        if not self._retry.allows_retry(int(self._retries[idx])):
+            self._timed_out[idx] = True
+            self._unresolved -= 1
+            return
+        delay = self._retry.backoff_delay(int(self._retries[idx]))
+        if stranded:
+            if delay > 0:
+                self._loop.push(delay, self._head_stranded, idx)
+            else:
+                self._head_stranded(idx)
+            return
+        if delay > 0:
+            self._loop.push(delay, self._head_route, idx)
+            return
+        self._head_route(idx)
+
+    def _head_stranded(self, idx: int) -> None:
+        self._reconfig_waiters.append((True, idx, 0))
 
     # ==================================================================
     # Micro-batch servers
     # ==================================================================
-    def _enqueue(self, module_name: str, host: str, job: tuple) -> None:
+    def _enqueue(self, module_name: str, host: str, job: list) -> None:
         key = (module_name, host)
+        job[_KEY] = key
         queue = self._queues.get(key)
         if queue is None:
             queue = self._queues[key] = []
@@ -469,7 +596,7 @@ class FlatServingEngine:
         for job in chunk:
             self._drop_backlog(host, job)
         if not self._devices[host].hosts(module_name):
-            self._loop.push(0.0, self._chunk_done, host, chunk, False)
+            self._notify_chunk(host, chunk, False)
             return True
         best = chunk[0]
         best_scale = self._scale_for(best[_MODEL], module_name)
@@ -477,7 +604,9 @@ class FlatServingEngine:
             scale = self._scale_for(job[_MODEL], module_name)
             if scale > best_scale:
                 best, best_scale = job, scale
-        service = self._batch_service(module_name, host, best[_MODEL], len(chunk))
+        service = self._slow[host] * self._batch_service(
+            module_name, host, best[_MODEL], len(chunk)
+        )
         submitted = self._loop.now
         if self._slot_used[host] < self._slot_cap[host]:
             self._slot_used[host] += 1
@@ -512,29 +641,44 @@ class FlatServingEngine:
         lost = host not in self._live or any(
             submitted <= t <= self._loop.now for t in self._fail_times.get(host, ())
         )
-        self._loop.push(0.0, self._chunk_done, host, chunk, not lost)
+        self._notify_chunk(host, chunk, not lost)
         self._server_drain(module_name, host)
+
+    def _notify_chunk(self, host: str, chunk: list, ok: bool) -> None:
+        """Schedule the per-job completion broadcast for a chunk.
+
+        Jobs already resumed by their retry watchdog are skipped; the rest
+        are marked ``notified`` *now* — mirroring the legacy engine, where
+        the one-shot done events fire synchronously here — so a watchdog
+        popping before the broadcast entry sees them as settled.
+        """
+        jobs = [job for job in chunk if not job[_NOTIFIED]]
+        if not jobs:
+            return
+        for job in jobs:
+            job[_NOTIFIED] = True
+        self._loop.push(0.0, self._chunk_done, host, jobs, ok)
 
     def _chunk_done(self, host: str, chunk: list, ok: bool) -> None:
         """The fused per-job completion broadcast (one entry per batch)."""
         for job in chunk:
             self._job_done(job, host, ok)
 
-    def _job_done(self, job: tuple, host: str, ok: bool) -> None:
+    def _job_done(self, job: list, host: str, ok: bool) -> None:
         idx = job[_IDX]
         if job[_IS_HEAD]:
             if ok:
                 self._finish[idx] = self._loop.now
                 self._unresolved -= 1
             else:
-                self._head_route(idx)
+                self._head_failed(job)
         else:
             if ok:
                 self._loop.push(0.0, self._enc_path_done, idx, job[_PATH], host)
             else:
-                self._enc_route(idx, job[_PATH])
+                self._enc_failed(job)
 
-    def _drop_backlog(self, host: str, job: tuple) -> None:
+    def _drop_backlog(self, host: str, job: list) -> None:
         self._backlog[host] = max(0.0, self._backlog[host] - job[_EST])
         self._state_version += 1
 
@@ -546,7 +690,41 @@ class FlatServingEngine:
         jobs, queue[:] = list(queue), []
         for job in jobs:
             self._drop_backlog(key[1], job)
-        self._loop.push(0.0, self._chunk_done, key[1], jobs, False)
+        self._notify_chunk(key[1], jobs, False)
+
+    # ==================================================================
+    # Retry watchdogs (RetryPolicy timeouts)
+    # ==================================================================
+    def _watch_fire(self, job: list) -> None:
+        """The attempt's deadline passed: cancel it wherever it is.
+
+        Still queued — dequeue it and fail the job now.  Mid-service — the
+        batch keeps the device busy, but the owner is resumed immediately
+        and the stale result is dropped at chunk completion (``notified``).
+        Mid-transfer (not yet enqueued) — only mark ``cancelled``; the
+        owner checks the flag at its next checkpoint.
+        """
+        if job[_NOTIFIED] or job[_CANCELLED]:
+            return
+        job[_CANCELLED] = True
+        if job[_KEY] is None:
+            return
+        queue = self._queues.get(job[_KEY])
+        if queue is not None:
+            for pos, queued in enumerate(queue):
+                if queued is job:
+                    del queue[pos]
+                    self._drop_backlog(job[_KEY][1], job)
+                    break
+        job[_NOTIFIED] = True
+        self._loop.push(0.0, self._timeout_resume, job)
+
+    def _timeout_resume(self, job: list) -> None:
+        """The owner's resume after a watchdog fired (done event mirror)."""
+        if job[_IS_HEAD]:
+            self._head_failed(job)
+        else:
+            self._enc_failed(job)
 
     # ==================================================================
     # Streaming queue-aware routing (exact router-math mirror)
@@ -581,8 +759,13 @@ class FlatServingEngine:
         slot_cap = self._slot_cap
         backlog = self._backlog
         reserved = self._reserved
+        slow = self._slow
         best_total = best_name = best_service = best_wait = None
         for service, device_name in pairs:
+            # The cached pairs are nominal; straggler factors are applied
+            # here so routing prices the degraded speed (legacy router op
+            # order: compute_seconds, then `service * slow`).
+            service = service * slow[device_name]
             capacity = slot_cap[device_name]
             outstanding = slot_used[device_name] + len(slot_waiters[device_name])
             wait = (
@@ -727,24 +910,21 @@ class FlatServingEngine:
         return value
 
     # ==================================================================
-    # Churn and adaptive re-placement
+    # Fault injection and adaptive re-placement
     # ==================================================================
-    def _churn_advance(self, i: int) -> None:
-        events = self._churn_events
+    def _fault_advance(self, i: int) -> None:
+        events = self._fault_events
         loop = self._loop
         while i < len(events):
             event = events[i]
             if event.time > loop.now:
-                loop.push(event.time - loop.now, self._churn_advance, i)
+                loop.push(event.time - loop.now, self._fault_advance, i)
                 return
-            if event.kind == FAIL:
-                applied, detail = self._apply_failure(event.device)
-            else:
-                applied, detail = self._apply_recovery(event.device)
+            applied, detail, reconfigure = self._apply_fault(event)
             self._churn_log.append(
-                ChurnRecord(loop.now, event.device, event.kind, applied, detail)
+                ChurnRecord(loop.now, event.label, event.kind, applied, detail)
             )
-            if applied:
+            if reconfigure:
                 decision = self._replace_decision()
                 if (
                     decision is not None
@@ -754,7 +934,7 @@ class FlatServingEngine:
                     if decision.switching_cost_seconds > 0:
                         loop.push(
                             decision.switching_cost_seconds,
-                            self._churn_migrated, decision, loop.now, i,
+                            self._fault_migrated, decision, loop.now, i,
                         )
                         return
                     self._install(decision.new_placement)
@@ -766,15 +946,61 @@ class FlatServingEngine:
                 self._signal_reconfigured()
             i += 1
 
-    def _churn_migrated(self, decision, decided_at: float, i: int) -> None:
+    def _fault_migrated(self, decision, decided_at: float, i: int) -> None:
         self._install(decision.new_placement)
         # Stamped with the decision time so the log attributes the
-        # migration to the churn event that triggered it.
+        # migration to the fault event that triggered it.
         self._migrations.append(
             MigrationRecord(decided_at, decision.reason, decision.switching_cost_seconds)
         )
         self._signal_reconfigured()
-        self._churn_advance(i + 1)
+        self._fault_advance(i + 1)
+
+    def _apply_fault(self, event: FaultEvent) -> Tuple[bool, str, bool]:
+        """Apply one fault; returns ``(applied, detail, reconfigure)``.
+
+        The exact mirror of the legacy runtime's ``_apply_fault``, plus the
+        flat engine's cache invalidations: straggler factors bump the
+        routing-state version (scores change), link faults clear the
+        transfer-price cache (bandwidths changed).
+        """
+        if event.kind == FAIL:
+            applied, detail = self._apply_failure(event.device)
+            if applied and event.region:
+                detail = f"region {event.region}"
+            return applied, detail, applied
+        if event.kind == RECOVER:
+            applied, detail = self._apply_recovery(event.device)
+            if applied and event.region:
+                detail = f"region {event.region}"
+            return applied, detail, applied
+        if event.kind == SLOW:
+            self._slow[event.device] = event.factor
+            self._state_version += 1
+            return True, f"x{event.factor:g}", False
+        if event.kind == SLOW_END:
+            self._slow[event.device] = 1.0
+            self._state_version += 1
+            return True, "", False
+        # Link faults: reprice through the network, then re-derive which
+        # devices the requester can still reach.
+        a, b = event.link  # type: ignore[misc]
+        if event.kind == LINK_DEGRADE:
+            self._network.degrade_link(a, b, event.factor)
+            detail = "cut" if event.factor == 0.0 else f"bandwidth x{event.factor:g}"
+        else:
+            self._network.restore_link(a, b)
+            detail = ""
+        self._transfer_cache.clear()
+        # Isolated estimates price transfer legs at current bandwidths
+        # (the legacy engine recomputes them per arrival), so a repriced
+        # link invalidates them even when the placement generation and
+        # reachability are unchanged.
+        self._isolated_cache.clear()
+        changed, change_detail = self._refresh_reachability()
+        if change_detail:
+            detail = f"{detail}; {change_detail}" if detail else change_detail
+        return True, detail, changed
 
     def _replace_decision(self):
         problem_now = self._live_problem()
@@ -791,29 +1017,76 @@ class FlatServingEngine:
     def _apply_failure(self, device_name: str) -> Tuple[bool, str]:
         if device_name == self.rt.requester:
             return False, "requester never fails"
-        if device_name not in self._live:
+        if device_name in self._crashed:
             return False, "already failed"
         remaining = [
             n for n in self._device_names if n in self._live and n != device_name
         ]
         if not self._feasible(remaining):
             return False, "placement infeasible without it"
+        self._crashed.add(device_name)
+        if device_name in self._live:
+            self._lose_device(device_name)
+        return True, ""
+
+    def _apply_recovery(self, device_name: str) -> Tuple[bool, str]:
+        if device_name not in self._crashed:
+            if device_name not in self._devices:
+                return False, "unknown device"
+            if device_name in self._live:
+                return False, "already live"
+            return False, "partitioned, not failed"
+        self._crashed.discard(device_name)
+        if not self._requester_reaches(device_name):
+            # Back up, but marooned behind a cut link: it rejoins the live
+            # pool when the partition heals (reachability refresh).
+            return True, "recovered but still partitioned"
+        self._live.add(device_name)
+        self._bump_generation()
+        return True, ""
+
+    def _lose_device(self, device_name: str) -> None:
+        """Remove a device from the live pool: flush its queues and stamp
+        the loss so in-flight batches detect it at completion."""
         self._live.discard(device_name)
         self._bump_generation()
         self._fail_times.setdefault(device_name, []).append(self._loop.now)
         for key in list(self._queues):
             if key[1] == device_name:
                 self._flush_queue(key)
-        return True, ""
 
-    def _apply_recovery(self, device_name: str) -> Tuple[bool, str]:
-        if device_name in self._live:
-            return False, "already live"
-        if device_name not in self._devices:
-            return False, "unknown device"
-        self._live.add(device_name)
-        self._bump_generation()
-        return True, ""
+    def _requester_reaches(self, device_name: str) -> bool:
+        if device_name == self._requester:
+            return True
+        return device_name in self._network.reachable_from(self._requester)
+
+    def _refresh_reachability(self) -> Tuple[bool, str]:
+        """Reconcile the live pool with requester-side reachability after a
+        link change.  Partitioned devices leave exactly like failures
+        (queues flushed, in-flight work lost); devices that are alive and
+        newly reachable rejoin.  Returns whether the pool changed, plus a
+        log detail."""
+        reachable = self._network.reachable_from(self._requester)
+        lost = [
+            n for n in self._device_names
+            if n in self._live and n != self._requester and n not in reachable
+        ]
+        gained = [
+            n for n in self._device_names
+            if n not in self._live and n not in self._crashed and n in reachable
+        ]
+        for name in lost:
+            self._lose_device(name)
+        for name in gained:
+            self._live.add(name)
+        if gained:
+            self._bump_generation()
+        parts = []
+        if lost:
+            parts.append("partitioned: " + ", ".join(lost))
+        if gained:
+            parts.append("rejoined: " + ", ".join(gained))
+        return bool(lost or gained), "; ".join(parts)
 
     def _install(self, placement: Placement) -> None:
         """Materialize ``placement`` on the live devices (unload then load)."""
@@ -866,6 +1139,65 @@ class FlatServingEngine:
                 self._head_route(idx)
             else:
                 self._enc_route(idx, path)
+
+    # ==================================================================
+    # Brownout controller (graceful load shedding)
+    # ==================================================================
+    def _brownout_ranking(self) -> List[str]:
+        """Model classes ordered by SLO slack, smallest first (the exact
+        mirror of the legacy ranking: same prototypes, same floats)."""
+        slacks = []
+        for spec in self._engine.problem.models:
+            info = self._info_for(spec.name)
+            isolated = self._isolated(info)
+            iso = isolated if isolated is not None else 0.0
+            slacks.append((self.rt.slo.slo_for(iso) - iso, spec.name))
+        slacks.sort()
+        return [name for _, name in slacks]
+
+    def _brownout_pressure(self) -> float:
+        """Cluster backlog pressure: queued-but-unstarted service-seconds
+        per live compute slot (inf while no device is live)."""
+        queued = 0.0
+        capacity = 0
+        for name in self._device_names:
+            if name not in self._live:
+                continue
+            queued += self._backlog[name]
+            capacity += self._slot_cap[name]
+        return queued / capacity if capacity else float("inf")
+
+    def _brownout_assess(self, now: float) -> None:
+        """One hysteresis step: raise the shed level above the high-water
+        pressure, lower it at or below the low-water mark, and always keep
+        at least one model class admitted."""
+        policy = self.rt.brownout
+        pressure = self._brownout_pressure()
+        level = self._brownout_level
+        if pressure > policy.high_backlog_s:
+            level += 1
+        elif pressure <= policy.low_backlog_s:
+            level -= 1
+        cap = len(self._brownout_rank) - 1
+        if policy.max_level is not None:
+            cap = min(cap, policy.max_level)
+        level = max(0, min(level, cap))
+        if level != self._brownout_level:
+            self._brownout_level = level
+            shed = tuple(self._brownout_rank[:level])
+            self._brownout_shed = frozenset(shed)
+            self._brownout_log.append(BrownoutRecord(now, level, pressure, shed))
+
+    def _brownout_gate(self) -> None:
+        if self._unresolved > 0:
+            self._loop.push(self.rt.brownout.interval_s, self._brownout_tick)
+
+    def _brownout_tick(self) -> None:
+        if self._unresolved <= 0:
+            return
+        self._brownout_assess(self._loop.now)
+        if self._unresolved > 0:
+            self._loop.push(self.rt.brownout.interval_s, self._brownout_tick)
 
     # ==================================================================
     # Serving-layer replica autoscaling
@@ -1064,6 +1396,7 @@ class FlatServingEngine:
             admits = self._admitted.tolist()
             finishes = self._finish.tolist()
             retries = self._retries.tolist()
+            touts = self._timed_out.tolist()
             records = tuple(
                 RequestRecord(
                     request_id=ids[i],
@@ -1075,6 +1408,7 @@ class FlatServingEngine:
                     # NaN != NaN: the only unfinished markers are NaN.
                     finish_time=finishes[i] if finishes[i] == finishes[i] else None,
                     retries=retries[i],
+                    timed_out=touts[i],
                 )
                 for i in range(len(self._arrival_models))
             )
@@ -1089,9 +1423,11 @@ class FlatServingEngine:
             finish_times=self._finish,
             retries=self._retries,
             rejected=np.array([r is not None for r in self._rejected], dtype=bool),
+            timed_out=self._timed_out,
             migrations=self._migrations,
             churn=self._churn_log,
             energy=self._energy_report() if self._track_energy else None,
             scaling=self._scaling_log,
+            brownout=self._brownout_log,
             records=records,
         )

@@ -1,10 +1,14 @@
 """Serving-run accounting: per-request records and the aggregate report.
 
-Every arrival ends in exactly one of two terminal states — *completed* or
-*rejected* — so ``completed + rejected == arrivals`` always holds (the
-runtime asserts it; churn retries re-place work, they never drop or
-double-count a request).  All latencies are in **seconds** of simulated
-time; goodput is SLO-met completions per second.
+Every arrival ends in exactly one of three terminal states — *completed*,
+*rejected*, or *timed out* (its retry budget exhausted under a
+:class:`~repro.serving.slo.RetryPolicy`) — so
+``completed + rejected + timed_out == arrivals`` always holds (the runtime
+asserts it; churn/timeout retries re-place work, they never drop or
+double-count a request; without a retry policy ``timed_out`` is always 0
+and the invariant reduces to the classic two-state form).  All latencies
+are in **seconds** of simulated time; goodput is SLO-met completions per
+second.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ class RequestRecord:
     rejected_reason: Optional[str] = None
     finish_time: Optional[float] = None
     retries: int = 0
+    timed_out: bool = False
 
     @property
     def completed(self) -> bool:
@@ -62,13 +67,32 @@ class MigrationRecord:
 
 @dataclass(frozen=True)
 class ChurnRecord:
-    """One churn event as actually applied (or skipped) by the runtime."""
+    """One churn/fault event as actually applied (or skipped) by the runtime.
+
+    ``device`` is the fault's log label: a device name for device faults,
+    ``a<->b`` for link faults.
+    """
 
     time: float
     device: str
-    kind: str        # "fail" / "recover"
+    kind: str        # "fail" / "recover" / "slow" / "slow-end" / "link-*"
     applied: bool
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class BrownoutRecord:
+    """One brownout-controller level change.
+
+    ``pressure_s`` is the backlog pressure (queued service-seconds per live
+    compute slot) that triggered the move; ``shed`` lists the model classes
+    rejected at admission while this level holds (lowest SLO slack first).
+    """
+
+    time: float
+    level: int
+    pressure_s: float
+    shed: Tuple[str, ...]
 
 
 @dataclass(frozen=True)
@@ -182,10 +206,12 @@ class ServingReport:
     completed: int
     slo_met: int
     retries: int
+    timed_out: int
     latency: LatencySummary
     migrations: Tuple[MigrationRecord, ...] = ()
     churn: Tuple[ChurnRecord, ...] = ()
     scaling: Tuple[ScalingRecord, ...] = ()
+    brownout: Tuple[BrownoutRecord, ...] = ()
     records: Tuple[RequestRecord, ...] = field(default=(), repr=False)
     energy: Optional[EnergyReport] = None
 
@@ -248,6 +274,7 @@ class ServingReport:
             round(self.latency.p95, 9),
             round(self.latency.p99, 9),
             round(self.latency.makespan, 9),
+            self.timed_out,
         )
 
     def render(self, show_energy: bool = False) -> str:
@@ -268,6 +295,19 @@ class ServingReport:
             f"({self.slo_met}/{self.arrivals} within deadline)",
             f"  churn retries:   {self.retries}",
         ]
+        if self.timed_out:
+            lines.append(f"  timed out:       {self.timed_out} (retry budget exhausted)")
+        if self.brownout:
+            peak = max(record.level for record in self.brownout)
+            lines.append(
+                f"  brownout:        {len(self.brownout)} level changes (peak level {peak})"
+            )
+            for record in self.brownout:
+                shed = ", ".join(record.shed) if record.shed else "none"
+                lines.append(
+                    f"    t={record.time:7.2f}s level={record.level} "
+                    f"pressure={record.pressure_s:.2f}s shed: {shed}"
+                )
         if self.churn:
             applied = sum(1 for record in self.churn if record.applied)
             lines.append(f"  churn events:    {applied} applied, {len(self.churn) - applied} skipped")
@@ -329,24 +369,30 @@ def build_report_arrays(
     churn: Sequence[ChurnRecord],
     energy: Optional[EnergyReport] = None,
     scaling: Optional[Sequence[ScalingRecord]] = None,
+    brownout: Optional[Sequence[BrownoutRecord]] = None,
+    timed_out: Optional[np.ndarray] = None,
     records: Tuple[RequestRecord, ...] = (),
 ) -> ServingReport:
     """Assemble the report from per-request columns, enforcing conservation.
 
     The vectorized aggregation core shared by both serving engines:
     ``finish_times`` uses NaN for "never completed", ``rejected`` is the
-    boolean rejection mask, and every aggregate (counts, SLO attainment,
-    latency percentiles, makespan) is computed with numpy array ops instead
-    of per-record Python loops.  ``records`` only rides along into the
-    report (empty when the caller dropped them to save memory).
+    boolean rejection mask, ``timed_out`` is the retry-budget-exhausted
+    mask (``None`` means no retry policy: all False), and every aggregate
+    (counts, SLO attainment, latency percentiles, makespan) is computed
+    with numpy array ops instead of per-record Python loops.  ``records``
+    only rides along into the report (empty when the caller dropped them
+    to save memory).
     """
     completed_mask = ~np.isnan(finish_times)
-    unresolved_mask = ~completed_mask & ~rejected
+    if timed_out is None:
+        timed_out = np.zeros(len(arrival_times), dtype=bool)
+    unresolved_mask = ~completed_mask & ~rejected & ~timed_out
     if unresolved_mask.any():
         ids = [int(i) for i in request_ids[unresolved_mask][:5]]
         raise RuntimeError(
-            f"{int(np.count_nonzero(unresolved_mask))} request(s) neither completed "
-            f"nor rejected (e.g. ids {ids}); the serving run lost work"
+            f"{int(np.count_nonzero(unresolved_mask))} request(s) neither completed, "
+            f"rejected, nor timed out (e.g. ids {ids}); the serving run lost work"
         )
     latencies = finish_times[completed_mask] - arrival_times[completed_mask]
     completed = int(np.count_nonzero(completed_mask))
@@ -361,10 +407,12 @@ def build_report_arrays(
         completed=completed,
         slo_met=int(np.count_nonzero(latencies <= slo_s[completed_mask])),
         retries=int(retries.sum()),
+        timed_out=int(np.count_nonzero(timed_out)),
         latency=summarize_latencies(latencies, makespan=makespan),
         migrations=tuple(migrations),
         churn=tuple(churn),
         scaling=tuple(scaling or ()),
+        brownout=tuple(brownout or ()),
         records=records,
         energy=energy,
     )
@@ -379,6 +427,7 @@ def build_report(
     churn: List[ChurnRecord],
     energy: Optional[EnergyReport] = None,
     scaling: Optional[List[ScalingRecord]] = None,
+    brownout: Optional[List[BrownoutRecord]] = None,
     keep_records: bool = True,
 ) -> ServingReport:
     """Assemble the aggregate report from :class:`RequestRecord` objects.
@@ -413,5 +462,7 @@ def build_report(
         churn=churn,
         energy=energy,
         scaling=scaling,
+        brownout=brownout,
+        timed_out=np.fromiter((r.timed_out for r in records), dtype=bool, count=n),
         records=tuple(records) if keep_records else (),
     )

@@ -17,14 +17,21 @@ discrete-event :class:`~repro.sim.Simulator` with an arrival trace from
    each chunk as ONE batched service (footnote 4 scaling via
    :func:`~repro.core.routing.batching.batched_service_time` semantics),
    which is how a burst of requests sharing a vision encoder amortizes it.
-4. **Churn handling** — device fail/recover events
-   (:mod:`repro.serving.churn`) flush the failed device's queues, mark
-   in-flight work lost (detected at service completion, like a timeout),
-   and trigger the :class:`~repro.core.placement.adaptive.AdaptivePlacementController`:
+4. **Fault handling** — injected faults (:mod:`repro.serving.faults`,
+   generalizing the fail/recover churn of :mod:`repro.serving.churn`)
+   flush a lost device's queues, mark in-flight work lost (detected at
+   service completion, like a timeout), and trigger the
+   :class:`~repro.core.placement.adaptive.AdaptivePlacementController`:
    stranded modules force a migration whose switching cost is charged as
    simulated re-loading delay before the new placement takes effect.
-   Affected requests re-route and retry — **no request is ever lost or
-   double-counted**: every arrival terminates as completed or rejected.
+   Straggler (``slow``) faults scale a device's compute times and are
+   priced into routing and batching; link faults reprice (or cut)
+   transfers through :class:`~repro.cluster.network.Network`, and devices
+   partitioned away from the requester leave the live pool exactly like
+   failures until connectivity returns.  Affected requests re-route and
+   retry — **no request is ever lost or double-counted**: every arrival
+   terminates as completed, rejected, or (retry budget exhausted under a
+   :class:`~repro.serving.slo.RetryPolicy`) timed out.
 
 All times are **seconds** of simulated time; payload sizes are **bytes**.
 
@@ -32,10 +39,15 @@ Modeling assumptions (documented, load-bearing):
 
 - Failure detection happens at operation completion: work in flight on a
   device when it fails runs to its scheduled end, is then discarded and
-  retried elsewhere (the detection delay stands in for a timeout).
+  retried elsewhere (the detection delay stands in for a timeout) — unless
+  a :class:`~repro.serving.slo.RetryPolicy` timeout fires first and
+  cancels the attempt outright.
 - Encoder outputs are durably cached once produced, so a head-side retry
   re-ships embeddings without re-running the encoder.
-- The requester device never fails (it holds the input data).
+- The requester device never fails (it holds the input data); a partition
+  is measured from the requester's side of the network.
+- SLO deadlines and autoscale planning use *nominal* hardware speeds: a
+  straggler does not earn its requests longer deadlines.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.cluster.network import Network
 from repro.cluster.requests import InferenceRequest
 from repro.cluster.topology import build_testbed
 from repro.core.engine import PlacementAlgorithm, S2M3Engine
@@ -53,9 +66,20 @@ from repro.core.routing.executor import UplinkPool, transfer_proc
 from repro.core.routing.latency import RoutingDecision
 from repro.core.routing.queue_aware import QueueAwareRouter
 from repro.profiles.devices import edge_device_names
-from repro.serving.churn import FAIL, DeviceChurnEvent
+from repro.serving.churn import FAIL, RECOVER, DeviceChurnEvent
+from repro.serving.faults import (
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    SLOW,
+    SLOW_END,
+    BrownoutPolicy,
+    FaultEvent,
+    FaultPlan,
+    compile_faults,
+)
 from repro.profiles.energy import resolve_energy_profile
 from repro.serving.report import (
+    BrownoutRecord,
     ChurnRecord,
     DeviceEnergy,
     EnergyReport,
@@ -66,7 +90,7 @@ from repro.serving.report import (
     build_report,
     merged_busy_seconds,
 )
-from repro.serving.slo import SLOPolicy
+from repro.serving.slo import RetryPolicy, SLOPolicy
 from repro.serving.workload import ArrivalTrace
 from repro.sim import Event
 from repro.sim.trace import CATEGORY_COMPUTE, CATEGORY_HEAD
@@ -96,10 +120,21 @@ class StreamingQueueAwareRouter(QueueAwareRouter):
     replicas resolve deterministically by name.
     """
 
-    def __init__(self, cluster, latency_model, placement, live: Set[str], backlog: Dict[str, float]) -> None:
+    def __init__(
+        self,
+        cluster,
+        latency_model,
+        placement,
+        live: Set[str],
+        backlog: Dict[str, float],
+        slow: Optional[Dict[str, float]] = None,
+    ) -> None:
         super().__init__(cluster, latency_model, placement)
         self._live = live
         self._backlog = backlog
+        # Straggler fault factors (1.0 = nominal); routing prices the
+        # *degraded* speed so slowed replicas shed load to healthy ones.
+        self._slow = slow if slow is not None else {}
 
     def reserved_seconds(self, device_name: str) -> float:
         """In-flight reserved service-**seconds** against ``device_name``.
@@ -160,6 +195,7 @@ class StreamingQueueAwareRouter(QueueAwareRouter):
         scored = []
         for device_name in candidates:
             service = self.latency_model.compute_seconds(request, module_name, device_name)
+            service = service * self._slow.get(device_name, 1.0)
             wait = self.estimated_wait(device_name, service)
             scored.append((service + wait, device_name, service))
         _, chosen, service = min(scored)
@@ -182,13 +218,26 @@ class StreamingQueueAwareRouter(QueueAwareRouter):
         return RoutingDecision(request=request, hosts=hosts)
 
 
-@dataclass
+@dataclass(eq=False)
 class _Job:
-    """One module execution owed to a request, awaiting a batch slot."""
+    """One module *attempt* owed to a request.
+
+    Identity-compared (``eq=False``): the watchdog's dequeue must remove
+    *this* job, never a value-equal sibling attempt.
+
+    Created at routing time (so a retry-policy watchdog can cover the
+    transfer leg too).  ``cancelled`` is set by the watchdog — the attempt
+    is abandoned wherever it is (mid-transfer, queued, or mid-service);
+    ``notified`` guards the one-shot ``done`` event against double firing
+    (watchdog vs. batch completion vs. queue flush); ``key`` is the
+    micro-batch queue the job sits in once enqueued (None before)."""
 
     request: InferenceRequest
     done: Event
     est_service: float
+    cancelled: bool = False
+    notified: bool = False
+    key: Optional[Tuple[str, str]] = None
 
 
 class ServingRuntime:
@@ -264,6 +313,18 @@ class ServingRuntime:
             embedding transfer (co-located hops free, matching
             :mod:`repro.profiles.energy`).  Deployment-phase model loading
             is out of scope: the ledger covers the serving run itself.
+        retry: Per-attempt timeout / bounded-retry / backoff policy
+            (:class:`~repro.serving.slo.RetryPolicy`).  The default policy
+            (no timeout, unlimited retries, no backoff) reproduces the
+            pre-policy runtime bit-for-bit; with ``timeout_s`` set, every
+            module attempt races a watchdog and a request whose retry
+            budget runs out terminates as *timed out* (the report's third
+            terminal state).
+        brownout: Optional :class:`~repro.serving.faults.BrownoutPolicy`.
+            When set, a periodic controller watches backlog pressure and
+            sheds arrivals of the lowest-SLO-slack model classes first
+            (tiered admission) instead of letting every queue collapse;
+            level changes are logged in ``ServingReport.brownout``.
         congestion_aware: Plan the deployment with the queue-aware exact
             solver instead of greedy Algorithm 1: arrival rates measured
             from the trace (:meth:`CongestionModel.from_trace`) price each
@@ -303,6 +364,8 @@ class ServingRuntime:
         max_events: Optional[int] = None,
         keep_records: bool = True,
         track_energy: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        brownout: Optional[BrownoutPolicy] = None,
         congestion_aware: bool = False,
         placement_algorithm: Optional[PlacementAlgorithm] = None,
     ) -> None:
@@ -357,6 +420,8 @@ class ServingRuntime:
         self.max_events = max_events
         self.keep_records = keep_records
         self.track_energy = track_energy
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.brownout = brownout
         self.congestion_aware = congestion_aware
         self.placement_algorithm = placement_algorithm
 
@@ -406,28 +471,44 @@ class ServingRuntime:
         self,
         trace: ArrivalTrace,
         churn_events: Iterable[DeviceChurnEvent] = (),
+        faults: Optional[FaultPlan] = None,
     ) -> ServingReport:
-        """Serve ``trace`` (optionally under churn); returns the report.
+        """Serve ``trace`` (optionally under churn/faults); returns the report.
 
-        The report enforces conservation: every arrival is either completed
-        or rejected, never lost — a violation raises :class:`RuntimeError`.
+        ``churn_events`` (legacy fail/recover deltas) and ``faults`` (a
+        typed :class:`~repro.serving.faults.FaultPlan` adding stragglers,
+        link faults and regional outages) merge into one time-sorted
+        injection stream.  The plan is validated against the device pool
+        and network topology *before* any serving starts — unknown names
+        raise :class:`ValueError`, never silently skip.
+
+        The report enforces conservation: every arrival is completed,
+        rejected, or timed out, never lost — a violation raises
+        :class:`RuntimeError`.
 
         Dispatches to the engine selected at construction: the flat
         vectorized event loop (default) or the legacy generator-process
-        engine — both produce identical reports for identical inputs.
+        engine — both produce identical reports for identical inputs,
+        faulted or not.
         """
+        if faults is not None:
+            pool = set(self.device_names) | {self.requester}
+            # build_testbed always wires the paper's Table III topology, so
+            # a fresh Network validates link names exactly.
+            faults.validate_for(sorted(pool), network=Network())
+        fault_events = compile_faults(faults, churn_events)
         if self.engine == "flat":
             # Imported lazily: repro.serving.engine imports from this module's
             # siblings, and the legacy path must stay importable without it.
             from repro.serving.engine import FlatServingEngine
 
-            return FlatServingEngine(self).run(trace, churn_events)
-        return self._run_processes(trace, churn_events)
+            return FlatServingEngine(self).run(trace, fault_events)
+        return self._run_processes(trace, fault_events)
 
     def _run_processes(
         self,
         trace: ArrivalTrace,
-        churn_events: Iterable[DeviceChurnEvent] = (),
+        fault_events: Sequence[FaultEvent] = (),
     ) -> ServingReport:
         """The legacy engine: one generator process per request per hop."""
         self._cluster = build_testbed(self.device_names, requester=self.requester)
@@ -436,9 +517,12 @@ class ServingRuntime:
         self._placement: Placement = self._engine.placement
         self._latency_model = self._engine.latency_model()
         self._live: Set[str] = set(self._cluster.device_names)
+        self._crashed: Set[str] = set()
+        self._slow: Dict[str, float] = {name: 1.0 for name in self._cluster.device_names}
         self._backlog: Dict[str, float] = {}
         self._router = StreamingQueueAwareRouter(
-            self._cluster, self._latency_model, self._placement, self._live, self._backlog
+            self._cluster, self._latency_model, self._placement, self._live,
+            self._backlog, self._slow,
         )
         self._controller = AdaptivePlacementController(
             self._cluster.network, expected_requests=self.adapt_expected_requests
@@ -459,6 +543,11 @@ class ServingRuntime:
         self._scaling_log: List[ScalingRecord] = []
         self._pending_adds: Set[str] = set()
         self._unresolved = len(trace.arrivals)
+        self._brownout_level = 0
+        self._brownout_shed: frozenset = frozenset()
+        self._brownout_log: List[BrownoutRecord] = []
+        if self.brownout is not None:
+            self._brownout_rank = self._brownout_ranking()
 
         records: List[RequestRecord] = []
         for index, arrival in enumerate(trace.arrivals):
@@ -467,9 +556,10 @@ class ServingRuntime:
             )
             records.append(record)
             self._sim.process(self._request_proc(record), name=f"serve-{index}")
-        ordered_churn = sorted(churn_events, key=lambda e: (e.time, e.device))
-        if ordered_churn:
-            self._sim.process(self._churn_proc(ordered_churn), name="churn")
+        if fault_events:
+            self._sim.process(self._fault_proc(fault_events), name="churn")
+        if self.brownout is not None and trace.arrivals:
+            self._sim.process(self._brownout_proc(), name="brownout")
         if self.autoscale and trace.arrivals:
             self._sim.process(self._autoscale_proc(), name="autoscale")
         self._sim.run(max_events=self.max_events)
@@ -482,6 +572,7 @@ class ServingRuntime:
             self._churn_log,
             energy=self._energy_report() if self.track_energy else None,
             scaling=self._scaling_log,
+            brownout=self._brownout_log,
             keep_records=self.keep_records,
         )
 
@@ -511,8 +602,20 @@ class ServingRuntime:
                 record.rejected_reason = "no live host for a required module"
                 return
             record.slo_s = self.slo.slo_for(0.0)
+            if record.model_name in self._brownout_shed:
+                record.rejected_reason = (
+                    f"brownout level {self._brownout_level}: "
+                    f"shedding {record.model_name}"
+                )
+                return
         else:
             record.slo_s = self.slo.slo_for(isolated)
+            if record.model_name in self._brownout_shed:
+                record.rejected_reason = (
+                    f"brownout level {self._brownout_level}: "
+                    f"shedding {record.model_name}"
+                )
+                return
             predicted = isolated + self._queue_pressure(request)
             if not self.slo.admit(predicted, record.slo_s):
                 record.rejected_reason = (
@@ -534,17 +637,31 @@ class ServingRuntime:
         if paths:
             hosts = yield sim.all_of(paths)
             encoder_hosts = dict(zip(encoders, hosts))
+        if record.timed_out:
+            return
         yield from self._head_op(request, record, encoder_hosts)
+        if record.timed_out:
+            return
         record.finish_time = sim.now
 
     def _module_op(self, request: InferenceRequest, record: RequestRecord, module_name: str, send_input: bool):
         """Route -> (transfer input) -> micro-batch -> retry on failure.
 
-        Returns the host that finally served the module.
+        Returns the host that finally served the module, or None when the
+        request's retry budget ran out (``record.timed_out`` is then set).
+
+        The job is created at *routing* time so the retry watchdog covers
+        the whole attempt (transfer + queue + service); its estimated
+        service is priced at the same instant the router reserved it, so
+        the reservation ledger releases the exact float it charged even if
+        a straggler fault lands mid-transfer.
         """
         sim = self._sim
         attempt = 0
         while True:
+            if record.timed_out:
+                # A sibling path exhausted the shared retry budget.
+                return None
             host = self._router.route_module(request, module_name, reserve=True)
             if host is None:
                 # Wait out the migration; a new placement always arrives
@@ -554,35 +671,59 @@ class ServingRuntime:
             if attempt > 0:
                 record.retries += 1
             attempt += 1
+            est_service = (
+                self._latency_model.compute_seconds(request, module_name, host)
+                * self._slow[host]
+            )
+            job = _Job(request=request, done=sim.event(), est_service=est_service)
+            if self.retry.timeout_s is not None:
+                self._arm_watchdog(job)
+            delivered = True
             if send_input:
                 module = self._latency_model.module(module_name)
                 modality = module.modality or "image"
                 payload = request.model.payload_bytes(modality)
                 nic = self._nics.get(request.source)
                 token = yield nic.acquire()
+                delivered = False
                 try:
-                    yield from transfer_proc(
-                        self._cluster, request.source, host, payload,
-                        f"{modality}->{host}", request.request_id,
-                    )
+                    if not job.cancelled and self._cluster.network.has_path(
+                        request.source, host
+                    ):
+                        yield from transfer_proc(
+                            self._cluster, request.source, host, payload,
+                            f"{modality}->{host}", request.request_id,
+                        )
+                        delivered = True
                 finally:
                     nic.release(token)
-                self._charge_radio(request.source, host, payload)
-            job = _Job(
-                request=request,
-                done=sim.event(),
-                est_service=self._latency_model.compute_seconds(request, module_name, host),
-            )
-            self._enqueue(module_name, host, job)
-            ok = yield job.done
+                if delivered:
+                    self._charge_radio(request.source, host, payload)
+            if job.cancelled or not delivered:
+                # Timed out mid-transfer, or a partition kept the payload
+                # from landing: undo the reservation and retry.
+                self._router.release(host, est_service)
+                ok = False
+            else:
+                self._enqueue(module_name, host, job)
+                ok = yield job.done
             if ok:
                 return host
+            if not self.retry.allows_retry(record.retries):
+                record.timed_out = True
+                return None
+            delay = self.retry.backoff_delay(record.retries)
+            if delay > 0:
+                yield sim.timeout(delay)
 
     def _head_op(self, request: InferenceRequest, record: RequestRecord, encoder_hosts: Dict[str, str]):
         """Ship embeddings to the head's host, run the head, retry on failure."""
+        sim = self._sim
         head_name = request.model.head
         attempt = 0
         while True:
+            if record.timed_out:
+                return
             host = self._router.route_module(request, head_name, reserve=True)
             if host is None:
                 yield self._reconfigured()
@@ -590,28 +731,54 @@ class ServingRuntime:
             if attempt > 0:
                 record.retries += 1
             attempt += 1
+            est_service = (
+                self._latency_model.compute_seconds(request, head_name, host)
+                * self._slow[host]
+            )
+            job = _Job(request=request, done=sim.event(), est_service=est_service)
+            if self.retry.timeout_s is not None:
+                self._arm_watchdog(job)
+            delivered = True
             for encoder_name, encoder_host in encoder_hosts.items():
+                if job.cancelled or not self._cluster.network.has_path(encoder_host, host):
+                    # Cached embeddings can't reach the head right now
+                    # (timeout or partition); abandon the attempt.
+                    delivered = False
+                    break
                 module = self._latency_model.module(encoder_name)
                 yield from transfer_proc(
                     self._cluster, encoder_host, host, module.output_bytes,
                     f"emb->{host}", request.request_id,
                 )
                 self._charge_radio(encoder_host, host, module.output_bytes)
-            job = _Job(
-                request=request,
-                done=self._sim.event(),
-                est_service=self._latency_model.compute_seconds(request, head_name, host),
-            )
-            self._enqueue(head_name, host, job)
-            ok = yield job.done
+            if job.cancelled or not delivered:
+                self._router.release(host, est_service)
+                ok = False
+            else:
+                self._enqueue(head_name, host, job)
+                ok = yield job.done
             if ok:
                 return host
+            if not self.retry.allows_retry(record.retries):
+                record.timed_out = True
+                return
+            delay = self.retry.backoff_delay(record.retries)
+            if delay > 0:
+                yield sim.timeout(delay)
+            if not delivered and not job.cancelled:
+                # A partition strands a cached embedding: every re-route at
+                # this instant would fail the same reachability check, so
+                # wait for the next reachability/placement change instead
+                # of spinning (a cut link is always restored eventually —
+                # the fault-plan validator rejects permanent cuts).
+                yield self._reconfigured()
 
     # ==================================================================
     # Micro-batch servers
     # ==================================================================
     def _enqueue(self, module_name: str, host: str, job: _Job) -> None:
         key = (module_name, host)
+        job.key = key
         self._queues.setdefault(key, []).append(job)
         # The routed work is now visible as backlog; release the in-flight
         # reservation the router took at routing time (same service value).
@@ -665,6 +832,7 @@ class ServingRuntime:
                     batch_size=len(chunk),
                     label=f"batch[{len(chunk)}] {module_name}",
                     category=category,
+                    service_scale=self._slow[host],
                 )
                 lost = self._failed_during(host, submitted)
                 self._finish_chunk(chunk, ok=not lost)
@@ -673,6 +841,9 @@ class ServingRuntime:
 
     def _finish_chunk(self, chunk: List[_Job], ok: bool) -> None:
         for job in chunk:
+            if job.notified:
+                continue  # the retry watchdog already resumed its owner
+            job.notified = True
             job.done.succeed(ok)
 
     def _drop_backlog(self, host: str, job: _Job) -> None:
@@ -686,7 +857,41 @@ class ServingRuntime:
         jobs, queue[:] = list(queue), []
         for job in jobs:
             self._drop_backlog(key[1], job)
+            if job.notified:
+                continue
+            job.notified = True
             job.done.succeed(False)
+
+    # ==================================================================
+    # Retry watchdogs (RetryPolicy timeouts)
+    # ==================================================================
+    def _arm_watchdog(self, job: _Job) -> None:
+        """Race the attempt against the retry policy's per-attempt timeout."""
+        self._sim.timeout(self.retry.timeout_s).add_callback(
+            lambda _event: self._watch_fire(job)
+        )
+
+    def _watch_fire(self, job: _Job) -> None:
+        """The attempt's deadline passed: cancel it wherever it is.
+
+        Still queued — dequeue it and fail the job now.  Mid-service — the
+        batch keeps the device busy, but the owner is resumed immediately
+        and the stale result is dropped at chunk completion (``notified``).
+        Mid-transfer (not yet enqueued) — only mark ``cancelled``; the
+        owner checks the flag at its next checkpoint (events for the
+        in-flight transfer are already scheduled and cannot be unwound).
+        """
+        if job.notified or job.cancelled:
+            return
+        job.cancelled = True
+        if job.key is None:
+            return
+        queue = self._queues.get(job.key)
+        if queue is not None and job in queue:
+            queue.remove(job)
+            self._drop_backlog(job.key[1], job)
+        job.notified = True
+        job.done.succeed(False)
 
     def _failed_during(self, host: str, since: float) -> bool:
         if host not in self._live:
@@ -694,46 +899,135 @@ class ServingRuntime:
         return any(since <= t <= self._sim.now for t in self._fail_times.get(host, ()))
 
     # ==================================================================
-    # Churn and adaptive re-placement
+    # Fault injection and adaptive re-placement
     # ==================================================================
-    def _churn_proc(self, events: Sequence[DeviceChurnEvent]):
+    def _fault_proc(self, events: Sequence[FaultEvent]):
+        """Walk the merged fault stream, applying each event at its time.
+
+        Events that change the *live pool* (crashes, recoveries,
+        partitions healing or opening) trigger the adaptive re-placement
+        controller; straggler and bandwidth-only link faults reprice
+        without reconfiguring."""
         sim = self._sim
         for event in events:
             if event.time > sim.now:
                 yield sim.timeout(event.time - sim.now)
-            if event.kind == FAIL:
-                applied, detail = self._apply_failure(event.device)
-            else:
-                applied, detail = self._apply_recovery(event.device)
+            applied, detail, reconfigure = self._apply_fault(event)
             self._churn_log.append(
-                ChurnRecord(sim.now, event.device, event.kind, applied, detail)
+                ChurnRecord(sim.now, event.label, event.kind, applied, detail)
             )
-            if applied:
+            if reconfigure:
                 yield from self._replace()
                 self._signal_reconfigured()
+
+    def _apply_fault(self, event: FaultEvent) -> Tuple[bool, str, bool]:
+        """Apply one fault; returns ``(applied, detail, reconfigure)``."""
+        if event.kind == FAIL:
+            applied, detail = self._apply_failure(event.device)
+            if applied and event.region:
+                detail = f"region {event.region}"
+            return applied, detail, applied
+        if event.kind == RECOVER:
+            applied, detail = self._apply_recovery(event.device)
+            if applied and event.region:
+                detail = f"region {event.region}"
+            return applied, detail, applied
+        if event.kind == SLOW:
+            self._set_slow(event.device, event.factor)
+            return True, f"x{event.factor:g}", False
+        if event.kind == SLOW_END:
+            self._set_slow(event.device, 1.0)
+            return True, "", False
+        # Link faults: reprice through the network, then re-derive which
+        # devices the requester can still reach.
+        a, b = event.link  # type: ignore[misc]
+        if event.kind == LINK_DEGRADE:
+            self._cluster.network.degrade_link(a, b, event.factor)
+            detail = "cut" if event.factor == 0.0 else f"bandwidth x{event.factor:g}"
+        else:
+            self._cluster.network.restore_link(a, b)
+            detail = ""
+        self._after_link_change()
+        changed, change_detail = self._refresh_reachability()
+        if change_detail:
+            detail = f"{detail}; {change_detail}" if detail else change_detail
+        return True, detail, changed
+
+    def _set_slow(self, device_name: str, factor: float) -> None:
+        """Install a straggler factor (the flat engine overlays cache
+        invalidation on top of this hook)."""
+        self._slow[device_name] = factor
+
+    def _after_link_change(self) -> None:
+        """Hook for the flat engine's transfer-price cache invalidation."""
 
     def _apply_failure(self, device_name: str):
         if device_name == self.requester:
             return False, "requester never fails"
-        if device_name not in self._live:
+        if device_name in self._crashed:
             return False, "already failed"
         remaining = [n for n in self._cluster.device_names if n in self._live and n != device_name]
         if not self._feasible(remaining):
             return False, "placement infeasible without it"
+        self._crashed.add(device_name)
+        if device_name in self._live:
+            self._lose_device(device_name)
+        return True, ""
+
+    def _apply_recovery(self, device_name: str):
+        if device_name not in self._crashed:
+            if device_name not in self._cluster.devices:
+                return False, "unknown device"
+            if device_name in self._live:
+                return False, "already live"
+            return False, "partitioned, not failed"
+        self._crashed.discard(device_name)
+        if not self._requester_reaches(device_name):
+            # Back up, but marooned behind a cut link: it rejoins the live
+            # pool when the partition heals (reachability refresh).
+            return True, "recovered but still partitioned"
+        self._live.add(device_name)
+        return True, ""
+
+    def _lose_device(self, device_name: str) -> None:
+        """Remove a device from the live pool: flush its queues and stamp
+        the loss so in-flight batches detect it at completion."""
         self._live.discard(device_name)
         self._fail_times.setdefault(device_name, []).append(self._sim.now)
         for key in list(self._queues):
             if key[1] == device_name:
                 self._flush_queue(key)
-        return True, ""
 
-    def _apply_recovery(self, device_name: str):
-        if device_name in self._live:
-            return False, "already live"
-        if device_name not in self._cluster.devices:
-            return False, "unknown device"
-        self._live.add(device_name)
-        return True, ""
+    def _requester_reaches(self, device_name: str) -> bool:
+        if device_name == self.requester:
+            return True
+        return device_name in self._cluster.network.reachable_from(self.requester)
+
+    def _refresh_reachability(self) -> Tuple[bool, str]:
+        """Reconcile the live pool with requester-side reachability after a
+        link change.  Partitioned devices leave exactly like failures
+        (queues flushed, in-flight work lost); devices that are alive and
+        newly reachable rejoin.  Returns whether the pool changed, plus a
+        log detail."""
+        reachable = self._cluster.network.reachable_from(self.requester)
+        lost = [
+            n for n in self._cluster.device_names
+            if n in self._live and n != self.requester and n not in reachable
+        ]
+        gained = [
+            n for n in self._cluster.device_names
+            if n not in self._live and n not in self._crashed and n in reachable
+        ]
+        for name in lost:
+            self._lose_device(name)
+        for name in gained:
+            self._live.add(name)
+        parts = []
+        if lost:
+            parts.append("partitioned: " + ", ".join(lost))
+        if gained:
+            parts.append("rejoined: " + ", ".join(gained))
+        return bool(lost or gained), "; ".join(parts)
 
     def _replace(self):
         """Let the adaptive controller re-place for the current live pool,
@@ -814,6 +1108,70 @@ class ServingRuntime:
     def _signal_reconfigured(self) -> None:
         event, self._reconfig_event = self._reconfig_event, self._sim.event()
         event.succeed(True)
+
+    # ==================================================================
+    # Brownout controller (graceful load shedding)
+    # ==================================================================
+    def _brownout_ranking(self) -> List[str]:
+        """Model classes ordered by SLO slack, smallest first.
+
+        Slack = deadline minus isolated latency on the fresh deployment —
+        the classes already closest to their deadlines are shed first
+        (they are the least likely to produce goodput under pressure).
+        Scoring uses ``request_id=-1`` prototypes so ranking never bumps
+        the process-global request counter (bit-identity of served ids).
+        """
+        slacks = []
+        for spec in self._engine.problem.models:
+            proto = InferenceRequest(
+                model=spec, source=self._cluster.requester, request_id=-1
+            )
+            isolated = self._isolated_estimate(proto)
+            iso = isolated if isolated is not None else 0.0
+            slacks.append((self.slo.slo_for(iso) - iso, spec.name))
+        slacks.sort()
+        return [name for _, name in slacks]
+
+    def _brownout_pressure(self) -> float:
+        """Cluster backlog pressure: queued-but-unstarted service-seconds
+        per live compute slot (inf while no device is live)."""
+        queued = 0.0
+        capacity = 0
+        for name in self._cluster.device_names:
+            if name not in self._live:
+                continue
+            queued += self._backlog.get(name, 0.0)
+            capacity += self._cluster.device(name).slots.capacity
+        return queued / capacity if capacity else float("inf")
+
+    def _brownout_assess(self, now: float) -> None:
+        """One hysteresis step: raise the shed level above the high-water
+        pressure, lower it at or below the low-water mark, and always keep
+        at least one model class admitted."""
+        policy = self.brownout
+        pressure = self._brownout_pressure()
+        level = self._brownout_level
+        if pressure > policy.high_backlog_s:
+            level += 1
+        elif pressure <= policy.low_backlog_s:
+            level -= 1
+        cap = len(self._brownout_rank) - 1
+        if policy.max_level is not None:
+            cap = min(cap, policy.max_level)
+        level = max(0, min(level, cap))
+        if level != self._brownout_level:
+            self._brownout_level = level
+            shed = tuple(self._brownout_rank[:level])
+            self._brownout_shed = frozenset(shed)
+            self._brownout_log.append(BrownoutRecord(now, level, pressure, shed))
+
+    def _brownout_proc(self):
+        sim = self._sim
+        while self._unresolved > 0:
+            yield sim.timeout(self.brownout.interval_s)
+            if self._unresolved <= 0:
+                break
+            self._brownout_assess(sim.now)
 
     # ==================================================================
     # Serving-layer replica autoscaling
@@ -1084,11 +1442,17 @@ class ServingRuntime:
         encoder_wait = 0.0
         for encoder_name in request.model.encoders:
             host = decision.host_of(encoder_name)
-            service = self._latency_model.compute_seconds(request, encoder_name, host)
+            service = (
+                self._latency_model.compute_seconds(request, encoder_name, host)
+                * self._slow[host]
+            )
             encoder_wait = max(encoder_wait, self._router.estimated_wait(host, service))
         head_name = request.model.head
         head_host = decision.host_of(head_name)
-        head_service = self._latency_model.compute_seconds(request, head_name, head_host)
+        head_service = (
+            self._latency_model.compute_seconds(request, head_name, head_host)
+            * self._slow[head_host]
+        )
         return encoder_wait + self._router.estimated_wait(head_host, head_service)
 
     def _remember(self, request: InferenceRequest) -> None:

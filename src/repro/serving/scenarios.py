@@ -1,0 +1,126 @@
+"""Named, seeded fault scenarios for resilience studies.
+
+Each scenario is a parameterized recipe that expands to a concrete
+:class:`~repro.serving.faults.FaultPlan` for a given run duration and seed
+— the serving CLI's ``--faults <name>`` flag and the resilience benchmark
+both draw from this registry, so a scenario name in a report or a CI log
+always means the same schedule.
+
+Timing is anchored to fractions of the run and jittered by a seeded RNG
+(:func:`~repro.utils.seeding.rng_for`), so different seeds probe different
+alignments of fault onset against the workload while the same seed always
+reproduces the same plan.  Every scenario keeps the pool feasible
+(the requester never fails; cut links are always restored), which the
+plan-level validation enforces again at ``run`` time.
+
+Scenarios (all on the paper's four-device testbed):
+
+- ``regional-outage`` — the wired-PAN region (desktop + jetson-b) fails
+  mid-run and recovers later: correlated crash, forced migration onto the
+  two survivors, recovery migration back.
+- ``flash-crowd-stragglers`` — no devices die, but the two fastest hosts
+  (desktop, laptop) straggle in staggered windows (thermal throttling /
+  co-tenant interference), so routing and batching must price degraded
+  speeds while deadlines stay nominal.
+- ``flaky-links`` — bandwidth collapses on the laptop and jetson-b uplinks
+  in overlapping windows, plus a brief full cut of the desktop link that
+  partitions it away from the requester until the link heals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.serving.faults import (
+    FaultEvent,
+    FaultPlan,
+    degrade_link,
+    regional_outage,
+    slowdown,
+)
+from repro.utils.seeding import rng_for
+
+#: Scenario registry: name -> builder(duration_s, seed) -> event list.
+_BUILDERS: Dict[str, Callable[[float, int], List[FaultEvent]]] = {}
+
+
+def _scenario(name: str):
+    def register(fn: Callable[[float, int], List[FaultEvent]]):
+        _BUILDERS[name] = fn
+        return fn
+
+    return register
+
+
+def _jitter(rng, lo: float, hi: float) -> float:
+    """A seeded draw in [lo, hi) — scenario-time anchors wiggle with the
+    seed but never reorder (the windows below keep disjoint ranges)."""
+    return float(rng.uniform(lo, hi))
+
+
+@_scenario("regional-outage")
+def _regional_outage(duration_s: float, seed: int) -> List[FaultEvent]:
+    rng = rng_for("scenario-regional-outage", seed)
+    start = _jitter(rng, 0.20, 0.30) * duration_s
+    end = _jitter(rng, 0.60, 0.70) * duration_s
+    return regional_outage(
+        ["desktop", "jetson-b"], start=start, end=end, region="wired-pan"
+    )
+
+
+@_scenario("flash-crowd-stragglers")
+def _flash_crowd_stragglers(duration_s: float, seed: int) -> List[FaultEvent]:
+    rng = rng_for("scenario-flash-crowd-stragglers", seed)
+    events: List[FaultEvent] = []
+    # Staggered straggler windows on the two fastest devices; factors are
+    # jittered so seeds probe mild-through-severe interference.
+    d_start = _jitter(rng, 0.10, 0.20) * duration_s
+    d_end = _jitter(rng, 0.55, 0.65) * duration_s
+    events += slowdown("desktop", factor=_jitter(rng, 3.0, 5.0), start=d_start, end=d_end)
+    l_start = _jitter(rng, 0.30, 0.40) * duration_s
+    l_end = _jitter(rng, 0.75, 0.85) * duration_s
+    events += slowdown("laptop", factor=_jitter(rng, 2.0, 4.0), start=l_start, end=l_end)
+    return events
+
+
+@_scenario("flaky-links")
+def _flaky_links(duration_s: float, seed: int) -> List[FaultEvent]:
+    rng = rng_for("scenario-flaky-links", seed)
+    events: List[FaultEvent] = []
+    # Two overlapping bandwidth collapses on the wireless uplinks...
+    events += degrade_link(
+        "laptop", "pan-router", factor=_jitter(rng, 0.05, 0.15),
+        start=_jitter(rng, 0.10, 0.20) * duration_s,
+        end=_jitter(rng, 0.50, 0.60) * duration_s,
+    )
+    events += degrade_link(
+        "jetson-b", "pan-router", factor=_jitter(rng, 0.10, 0.25),
+        start=_jitter(rng, 0.25, 0.35) * duration_s,
+        end=_jitter(rng, 0.65, 0.75) * duration_s,
+    )
+    # ...plus a brief full cut that partitions the desktop off the PAN.
+    cut_start = _jitter(rng, 0.40, 0.45) * duration_s
+    cut_end = cut_start + _jitter(rng, 0.10, 0.15) * duration_s
+    events += degrade_link("desktop", "pan-router", factor=0.0, start=cut_start, end=cut_end)
+    return events
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted (CLI choices, benchmark rows)."""
+    return sorted(_BUILDERS)
+
+
+def fault_scenario(name: str, duration_s: float, seed: int = 0) -> FaultPlan:
+    """Expand a named scenario into a concrete validated :class:`FaultPlan`.
+
+    Raises :class:`ValueError` for an unknown name or a non-positive
+    duration.  Same ``(name, duration_s, seed)`` ⇒ identical plan.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown fault scenario {name!r}; available: {scenario_names()}"
+        )
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    return FaultPlan.ordered(builder(duration_s, seed))

@@ -16,6 +16,7 @@ goodput metric rewards.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -61,3 +62,55 @@ class SLOPolicy:
         if not self.admission:
             return True
         return predicted_latency_s <= slo_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-attempt timeouts with a bounded retry budget.
+
+    When ``timeout_s`` is set, every module *attempt* (one routed
+    transfer + queue + execute on one host) is raced against a watchdog:
+    an attempt still unfinished after ``timeout_s`` simulated seconds is
+    cancelled (dequeued if still waiting; abandoned if mid-service) and
+    the module re-routes, exactly like a device-loss retry.  ``max_retries``
+    bounds the *total* retries a request may spend across all causes
+    (timeouts and device failures share the budget); once exhausted the
+    request terminates as **timed out** — a distinct terminal state in the
+    widened conservation invariant
+    ``completed + rejected + timed_out == arrivals``.  ``backoff_s`` sleeps
+    ``backoff_s * 2^retries_so_far`` before each retry to avoid hammering a
+    recovering pool.
+
+    The default (no timeout, unlimited retries, no backoff) reproduces the
+    pre-policy runtime bit-for-bit.
+    """
+
+    timeout_s: Optional[float] = None
+    max_retries: Optional[int] = None
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and (
+            not math.isfinite(self.timeout_s) or self.timeout_s <= 0
+        ):
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not math.isfinite(self.backoff_s) or self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be non-negative, got {self.backoff_s}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any timeout/budget machinery is active."""
+        return self.timeout_s is not None or self.max_retries is not None
+
+    def allows_retry(self, retries_so_far: int) -> bool:
+        """Whether a request that has already retried ``retries_so_far``
+        times may spend another retry."""
+        return self.max_retries is None or retries_so_far < self.max_retries
+
+    def backoff_delay(self, retries_so_far: int) -> float:
+        """Seconds to sleep before the next retry (exponential, capped)."""
+        if self.backoff_s == 0.0:
+            return 0.0
+        return self.backoff_s * (2.0 ** min(retries_so_far, 16))

@@ -72,7 +72,7 @@ class TestCli:
         expected = {
             "table6", "table7", "table8", "table9", "table10", "table11",
             "fig3", "optimality", "batching", "ablations", "extensions",
-            "energy", "replicas", "validation",
+            "energy", "replicas", "resilience", "validation",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -17,9 +17,12 @@ the per-run minimum (relative order and density must still match exactly).
 import pytest
 
 from repro.serving import (
+    BrownoutPolicy,
+    RetryPolicy,
     ServingRuntime,
     SLOPolicy,
     WorkloadGenerator,
+    fault_scenario,
     generate_churn,
 )
 
@@ -27,7 +30,7 @@ MODELS = ["clip-vit-b16", "encoder-vqa-small"]
 
 
 def _run(engine, *, kind="poisson", rate=0.4, duration=30.0, seed=0,
-         churn_rate=0.0, runtime_kwargs=None):
+         churn_rate=0.0, faults=None, runtime_kwargs=None):
     trace = WorkloadGenerator(
         MODELS, kind=kind, rate_rps=rate, duration_s=duration, seed=seed
     ).generate()
@@ -41,7 +44,8 @@ def _run(engine, *, kind="poisson", rate=0.4, duration=30.0, seed=0,
             duration_s=duration,
             seed=seed,
         )
-    return runtime.run(trace, churn_events=churn)
+    plan = fault_scenario(faults, duration_s=duration, seed=seed) if faults else None
+    return runtime.run(trace, churn_events=churn, faults=plan)
 
 
 def _normalized_records(report):
@@ -56,6 +60,7 @@ def _normalized_records(report):
             r.rejected_reason,
             r.finish_time,
             r.retries,
+            r.timed_out,
         )
         for r in report.records
     ]
@@ -67,10 +72,12 @@ def assert_reports_identical(flat, legacy):
     assert flat.migrations == legacy.migrations
     assert flat.churn == legacy.churn
     assert flat.scaling == legacy.scaling
+    assert flat.brownout == legacy.brownout
     assert flat.energy == legacy.energy
     assert flat.render(show_energy=True) == legacy.render(show_energy=True)
-    # Conservation: no request may be silently lost by either engine.
-    assert flat.completed + flat.rejected == flat.arrivals
+    # Widened conservation: every arrival terminates exactly once —
+    # completed, rejected, or timed out — in both engines.
+    assert flat.completed + flat.rejected + flat.timed_out == flat.arrivals
 
 
 CONFIGS = [
@@ -125,6 +132,45 @@ CONFIGS = [
              runtime_kwargs=dict(congestion_aware=True,
                                  slo=SLOPolicy(admission=False))),
         id="poisson-congestion-aware-no-admission",
+    ),
+    # Fault scenarios: correlated regional crash/recovery, straggler
+    # slowdown windows, and link degradation/partition all run through
+    # each engine's fault walker; degradation machinery (per-attempt
+    # timeouts, bounded retries, brownout shedding) must fork identically.
+    pytest.param(
+        dict(kind="bursty", rate=0.6, seed=7, faults="regional-outage",
+             runtime_kwargs=dict(slo=SLOPolicy(admission=False))),
+        id="bursty-regional-outage",
+    ),
+    pytest.param(
+        dict(kind="poisson", rate=0.8, seed=3, faults="flash-crowd-stragglers",
+             runtime_kwargs=dict(
+                 retry=RetryPolicy(timeout_s=6.0, max_retries=3, backoff_s=0.05))),
+        id="poisson-stragglers-retry",
+    ),
+    pytest.param(
+        dict(kind="bursty", rate=0.6, seed=7, faults="flaky-links",
+             runtime_kwargs=dict(
+                 slo=SLOPolicy(admission=False),
+                 retry=RetryPolicy(timeout_s=6.0, max_retries=3, backoff_s=0.05),
+                 brownout=BrownoutPolicy(interval_s=0.5, high_backlog_s=1.5,
+                                         low_backlog_s=0.5))),
+        id="bursty-flaky-links-graceful",
+    ),
+    pytest.param(
+        dict(kind="poisson", rate=1.2, seed=11, faults="regional-outage",
+             runtime_kwargs=dict(
+                 autoscale=True, replicate=False,
+                 retry=RetryPolicy(timeout_s=8.0, max_retries=5))),
+        id="poisson-outage-autoscale-retry",
+    ),
+    pytest.param(
+        dict(kind="bursty", rate=0.8, seed=2, churn_rate=0.05,
+             faults="flash-crowd-stragglers",
+             runtime_kwargs=dict(
+                 brownout=BrownoutPolicy(interval_s=0.5, high_backlog_s=1.0,
+                                         low_backlog_s=0.25))),
+        id="bursty-stragglers-churn-brownout",
     ),
 ]
 

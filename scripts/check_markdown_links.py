@@ -9,8 +9,12 @@ Two checks over every ``*.md`` file in the repository:
 2. **Orphan docs** — every page under ``docs/`` must be reachable from
    ``README.md`` by following intra-repo markdown links; a doc nobody
    links to is a doc nobody finds.
+3. **CLI invocations** — every ``python -m repro <command>`` the docs tell
+   the reader to run (including inside fenced code blocks) must name a
+   command the CLI registry actually exposes, so renaming an experiment
+   or subcommand cannot leave stale instructions behind.
 
-Exits 1 listing every broken link and orphan page.
+Exits 1 listing every broken link, orphan page, and unknown CLI command.
 
 Run:  python scripts/check_markdown_links.py [repo_root]
 """
@@ -28,6 +32,9 @@ from typing import List, Tuple
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
 _SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+#: ``python -m repro <command>`` invocations; matched against the *raw* text
+#: (fences included) because that's exactly where run instructions live.
+_CLI_CALL = re.compile(r"python\s+-m\s+repro\s+([A-Za-z0-9][A-Za-z0-9_-]*)")
 
 #: Directories never scanned (build junk, VCS internals).
 SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".venv", "node_modules", "build", "dist"}
@@ -103,11 +110,50 @@ def orphan_docs(root: Path, targets_of: "dict[Path, List[str]]") -> List[Path]:
     )
 
 
+def known_cli_commands(root: Path) -> "frozenset[str]":
+    """Commands the ``python -m repro`` entry point accepts.
+
+    Imported from the CLI registry itself (``src`` is put on ``sys.path``
+    for the lookup) so the doc check can never drift from the real
+    dispatcher.  ``repro.__main__``'s module-level imports are stdlib-only
+    by design, so this works without the scientific stack installed.
+    """
+    src = str(root / "src")
+    sys.path.insert(0, src)
+    try:
+        from repro.__main__ import cli_commands
+
+        return frozenset(cli_commands())
+    finally:
+        sys.path.remove(src)
+
+
+def unknown_cli_calls(
+    root: Path, targets_of: "dict[Path, List[str]]"
+) -> List[Tuple[Path, str]]:
+    """``python -m repro <cmd>`` doc invocations naming no registered command.
+
+    Scans the *raw* markdown — fenced code blocks are where run
+    instructions live, so they are deliberately included here (unlike the
+    link check, which strips them).
+    """
+    known = known_cli_commands(root)
+    failures: List[Tuple[Path, str]] = []
+    for path in targets_of:
+        text = path.read_text(encoding="utf-8")
+        for match in _CLI_CALL.finditer(text):
+            command = match.group(1)
+            if command not in known:
+                failures.append((path.relative_to(root), command))
+    return failures
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
     targets_of = scan_markdown(root)
     failures = broken_links(root, targets_of)
     orphans = orphan_docs(root, targets_of)
+    bad_calls = unknown_cli_calls(root, targets_of)
     checked = len(targets_of)
     if failures:
         print(f"docs-check: {len(failures)} broken intra-repo link(s):")
@@ -117,11 +163,15 @@ def main(argv: List[str]) -> int:
         print(f"docs-check: {len(orphans)} orphan doc page(s) unreachable from README.md:")
         for path in orphans:
             print(f"  {path}")
-    if failures or orphans:
+    if bad_calls:
+        print(f"docs-check: {len(bad_calls)} doc invocation(s) of unregistered CLI commands:")
+        for path, command in bad_calls:
+            print(f"  {path}: python -m repro {command}")
+    if failures or orphans or bad_calls:
         return 1
     print(
         f"docs-check: OK ({checked} markdown files, no broken intra-repo links, "
-        "no orphan docs)"
+        "no orphan docs, no unknown CLI commands)"
     )
     return 0
 

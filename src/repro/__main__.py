@@ -10,6 +10,10 @@ Regenerates any paper artifact from the terminal:
 And runs the online serving runtime (see docs/serving.md):
 
     python -m repro serve --workload bursty --duration 60 --churn 0.1
+
+And the AST invariant linter (see docs/analysis.md):
+
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -126,6 +130,26 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "resilience": _resilience,
     "validation": _validation,
 }
+
+
+#: Subcommands with their own argv (not experiment artifacts).
+SUBCOMMANDS = ("serve", "lint")
+
+
+def cli_commands() -> frozenset:
+    """Every ``python -m repro <cmd>`` the CLI accepts.
+
+    The docs-check script cross-references markdown invocations against
+    this set, so a doc naming a command that does not exist fails CI.
+    """
+    return frozenset(EXPERIMENTS) | {"all"} | set(SUBCOMMANDS)
+
+
+def lint_main(argv=None) -> int:
+    """The ``lint`` subcommand: run the AST invariant checker."""
+    from repro.analysis.runner import main as run_lint_cli
+
+    return run_lint_cli(argv)
 
 
 #: Default model mix for `serve`: three tasks sharing the ViT-B/16 tower.
@@ -287,16 +311,19 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate S2M3 paper artifacts (tables, figures, stats).",
-        epilog="Also: 'python -m repro serve --help' runs the online serving runtime.",
+        epilog="Also: 'python -m repro serve --help' runs the online serving "
+        "runtime, and 'python -m repro lint' the AST invariant checker.",
     )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which artifact to regenerate ('all' runs everything); "
-        "see also the 'serve' subcommand",
+        "see also the 'serve' and 'lint' subcommands",
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -1,0 +1,58 @@
+"""Small shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None (calls, subscripts)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attr_target(node: ast.AST) -> Optional[str]:
+    """The attribute name X for stores shaped ``self.X`` / ``self.X[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def const_str_elements(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """String elements of a literal set/tuple/list/frozenset({...}) node."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("frozenset", "set", "tuple")
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        node = node.args[0]
+    if not isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return None
+    elements = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        elements.append(element.value)
+    return tuple(elements)
+
+
+def iter_methods(classdef: ast.ClassDef):
+    """Direct function children of a class body (sync and async)."""
+    for node in classdef.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,96 @@
+"""Finding and result types for the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintResult` is everything one :func:`repro.analysis.runner.run_lint`
+pass produced — surviving findings, pragma-suppressed findings (kept for
+the JSON report so suppressions stay auditable), and scan bookkeeping.
+
+The JSON schema (``--format json``) is versioned and covered by the
+self-test suite; bump :data:`JSON_SCHEMA_VERSION` on any shape change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+#: Version stamp of the ``--format json`` report shape.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is POSIX-style and relative to the linted root, so reports are
+    stable across machines and CI runners.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class SuppressedFinding:
+    """A finding silenced by a reasoned pragma (kept for the report)."""
+
+    finding: Finding
+    reason: str
+
+    def to_json(self) -> Dict[str, object]:
+        payload = self.finding.to_json()
+        payload["reason"] = self.reason
+        return payload
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass produced."""
+
+    root: Path
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[SuppressedFinding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Dict[str, str] = field(default_factory=dict)  # id -> name
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in sorted(self.findings)]
+        count = len(self.findings)
+        noun = "finding" if count == 1 else "findings"
+        lines.append(
+            f"repro-lint: {count} {noun} "
+            f"({self.files_scanned} files, {len(self.rules_run)} rules, "
+            f"{len(self.suppressed)} suppressed)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": JSON_SCHEMA_VERSION,
+            "root": str(self.root),
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": dict(sorted(self.rules_run.items())),
+            "findings": [f.to_json() for f in sorted(self.findings)],
+            "suppressed": [s.to_json() for s in sorted(self.suppressed)],
+        }

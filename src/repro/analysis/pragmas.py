@@ -1,0 +1,113 @@
+"""Per-line pragma suppressions: ``# repro-lint: disable=RULE -- reason``.
+
+A pragma silences named rules on one line.  Two placements:
+
+- **trailing** — on the offending line itself::
+
+      for spans in grouped.values():  # repro-lint: disable=R004 -- in-place sort
+
+- **standalone** — a comment-only line suppressing the *next* line::
+
+      # repro-lint: disable=R004 -- in-place sort; order cannot leak
+      for spans in grouped.values():
+
+The reason is mandatory: a pragma without ``-- <why>`` suppresses nothing
+and is itself reported as :data:`PRAGMA_RULE_ID`, as is a pragma naming an
+unknown rule id.  ``R000`` findings are never suppressible (a bare pragma
+must not be able to silence the complaint about itself).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Rule id for malformed pragmas (reserved; not in the rule registry).
+PRAGMA_RULE_ID = "R000"
+PRAGMA_RULE_NAME = "pragma-syntax"
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*(?P<body>[^#]*)")
+_DISABLE = re.compile(
+    r"^disable=(?P<ids>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One validated pragma: rules silenced on ``line``, and why."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+def parse_pragmas(
+    relpath: str, source: str, known_rules: Iterable[str]
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Extract pragma suppressions and malformed-pragma findings.
+
+    Returns ``(by_line, findings)`` where ``by_line`` maps the *suppressed*
+    line number (the pragma's own line when trailing, the next line when
+    the pragma stands alone on a comment line) to its suppression.
+
+    Only real comment tokens are considered (via :mod:`tokenize`), so
+    pragma-shaped text inside string literals or docstrings is inert.
+    """
+    known = set(known_rules)
+    by_line: Dict[int, Suppression] = {}
+    findings: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return by_line, findings  # unparsable files are reported by the runner
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        lineno, token_col = token.start
+        text = token.line
+        col = token_col + match.start() + 1
+        body = match.group("body").strip()
+        parsed = _DISABLE.match(body)
+        if parsed is None:
+            findings.append(
+                Finding(
+                    relpath, lineno, col, PRAGMA_RULE_ID,
+                    "malformed pragma: expected "
+                    "'# repro-lint: disable=RULE[,RULE...] -- reason'",
+                )
+            )
+            continue
+        reason = (parsed.group("reason") or "").strip()
+        if not reason:
+            findings.append(
+                Finding(
+                    relpath, lineno, col, PRAGMA_RULE_ID,
+                    "pragma without a reason suppresses nothing: append "
+                    "'-- <why this exception is safe>'",
+                )
+            )
+            continue
+        rules = tuple(
+            rule.strip() for rule in parsed.group("ids").split(",") if rule.strip()
+        )
+        unknown = [rule for rule in rules if rule not in known]
+        if unknown:
+            findings.append(
+                Finding(
+                    relpath, lineno, col, PRAGMA_RULE_ID,
+                    f"pragma names unknown rule id(s): {', '.join(unknown)}",
+                )
+            )
+            continue
+        standalone = text[:token_col].strip() == ""
+        target = lineno + 1 if standalone else lineno
+        by_line[target] = Suppression(target, rules, reason)
+    return by_line, findings

@@ -1,0 +1,72 @@
+"""R004 ordered-iteration: no implicit iteration order in replay paths.
+
+Dict-order and set-order nondeterminism is the classic source of replay
+divergence: a ``for`` over a set visits elements in hash order (randomized
+per process for strings), and a ``.keys()``/``.values()`` loop silently
+couples replay identity to the dict's *construction* order.  In ``sim/``
+and ``serving/`` — the packages whose event streams must replay
+bit-identically — iteration order is therefore explicit: wrap the iterable
+in ``sorted(...)``, iterate a list, or carry a pragma explaining why order
+provably cannot leak into results.
+
+Flagged: ``for``-statement and list/dict-comprehension iterables that are
+``set(...)`` calls, set literals/comprehensions, or ``.keys()`` /
+``.values()`` calls.  Generator expressions and set comprehensions feeding
+order-insensitive reducers (``sum``/``min``/``max``/…) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.config import in_scope
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+
+def _unordered_reason(node: ast.AST) -> Optional[str]:
+    """Why this iterable has implicit order, or None when it's fine."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "set":
+            return "iterates a set(...) in hash order"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in ("keys", "values"):
+            return (
+                f"iterates .{node.func.attr}() in dict-construction order"
+            )
+    elif isinstance(node, (ast.Set, ast.SetComp)):
+        return "iterates a set literal in hash order"
+    return None
+
+
+@register
+class OrderedIterationRule(Rule):
+    id = "R004"
+    name = "ordered-iteration"
+    invariant = (
+        "sim/serving replay paths never iterate sets or dict views "
+        "directly; iteration order is made explicit with sorted(...) or "
+        "justified by a pragma"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not in_scope(ctx.relpath, self.config.ordered_iter_scopes):
+            return ()
+        return list(self._walk(ctx))
+
+    def _walk(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iterables = []
+            if isinstance(node, ast.For):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                reason = _unordered_reason(iterable)
+                if reason is not None:
+                    yield Finding(
+                        ctx.relpath, iterable.lineno, iterable.col_offset + 1,
+                        self.id,
+                        f"{reason}; wrap in sorted(...) so replays cannot "
+                        "diverge on iteration order",
+                    )

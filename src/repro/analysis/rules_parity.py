@@ -1,0 +1,91 @@
+"""R005 scalar-parity: every tensorized/scalar oracle pair is cross-tested.
+
+The vectorized layers (cost tensors, batched samplers) promise *bit
+identity* with their scalar reference implementations, and the convention
+is a method pair: public ``X`` (fast path) next to ``X_scalar`` (the
+oracle).  That promise is only worth anything while some test actually
+compares the two — so for every public method ``X`` with an ``X_scalar``
+sibling in the scanned packages, the ``X_scalar`` name must appear in the
+test tree.  An orphaned oracle is a parity contract nobody checks: the
+fast path can drift one ulp at a time and nothing fires.
+
+The cross-check is textual by design (a word-boundary search over
+``tests/``): it is import-free, so the linter stays stdlib-only and cheap
+enough for a pre-test CI gate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.analysis.astutils import iter_methods
+from repro.analysis.config import in_scope
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+import ast
+
+
+@register
+class ScalarParityRule(Rule):
+    id = "R005"
+    name = "scalar-parity"
+    invariant = (
+        "every public method with a *_scalar sibling is cross-checked by a "
+        "test that references the scalar oracle by name"
+    )
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        #: (relpath, line, col, owner, public_name) per discovered pair.
+        self._pairs: List[Tuple[str, int, int, str, str]] = []
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not in_scope(ctx.relpath, self.config.parity_scopes):
+            return ()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                self._scan_scope(
+                    ctx, f"{node.name}.", list(iter_methods(node))
+                )
+        self._scan_scope(
+            ctx,
+            "",
+            [
+                n
+                for n in ctx.tree.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ],
+        )
+        return ()
+
+    def _scan_scope(self, ctx: FileContext, owner: str, functions) -> None:
+        by_name = {fn.name: fn for fn in functions}
+        for name, fn in by_name.items():
+            if name.startswith("_") or not name.endswith("_scalar"):
+                continue
+            public = name[: -len("_scalar")]
+            if public.startswith("_") or public not in by_name:
+                continue
+            self._pairs.append(
+                (ctx.relpath, fn.lineno, fn.col_offset + 1, owner, public)
+            )
+
+    def finalize(self) -> Iterator[Finding]:
+        tests_root = self.config.tests_root
+        if tests_root is None or not self._pairs or not tests_root.is_dir():
+            return
+        corpus = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in sorted(tests_root.rglob("*.py"))
+        )
+        for relpath, line, col, owner, public in self._pairs:
+            oracle = f"{public}_scalar"
+            if re.search(rf"\b{re.escape(oracle)}\b", corpus) is None:
+                yield Finding(
+                    relpath, line, col, self.id,
+                    f"oracle pair {owner}{public}/{oracle}: no test under "
+                    f"{tests_root.name}/ references '{oracle}' — the "
+                    "bit-identity contract is unchecked",
+                )

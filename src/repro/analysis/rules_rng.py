@@ -1,0 +1,173 @@
+"""R001 seeded-rng and R002 sim-purity: determinism source rules.
+
+Every result in this repo must replay bit-identically from a seed, so the
+two ambient sources of nondeterminism — global RNG state and the host
+environment (wall clocks, env vars) — are banned at the source level:
+
+- **R001** — randomness flows only through :func:`repro.utils.seeding.rng_for`
+  (or an explicitly passed ``numpy.random.Generator``).  Global
+  ``np.random.*`` draws, ``np.random.seed``, the stdlib ``random`` module,
+  and argless ``default_rng()`` are all hidden global state: results then
+  depend on call order across the whole process.
+- **R002** — simulation and serving code computes *simulated* time from the
+  event loop, never host time; reading ``time.time``/``perf_counter``/
+  ``datetime.now`` or ``os.environ`` inside ``sim/``, ``serving/`` or
+  ``core/`` makes a replay diverge per machine.  Benchmarks and scripts
+  (outside those packages) may time and configure themselves freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.config import in_scope, matches_file
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: Wall-clock reads banned inside simulation scopes, matched on the last
+#: two components of the call's dotted name (so both ``time.time()`` and
+#: ``datetime.datetime.now()`` hit).
+_CLOCK_TAILS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("time", "process_time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+
+@register
+class SeededRngRule(Rule):
+    id = "R001"
+    name = "seeded-rng"
+    invariant = (
+        "all randomness is derived from named seeds via rng_for / an "
+        "explicit numpy Generator parameter, never from global RNG state"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if matches_file(ctx.relpath, self.config.seeding_allowlist):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield Finding(
+                            ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                            "stdlib 'random' is process-global state; use "
+                            "repro.utils.seeding.rng_for or take a "
+                            "numpy Generator parameter",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield Finding(
+                        ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                        "stdlib 'random' is process-global state; use "
+                        "repro.utils.seeding.rng_for or take a "
+                        "numpy Generator parameter",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+            attr = parts[-1]
+            if attr == "default_rng":
+                # Constructing a Generator from an explicit seed is the
+                # sanctioned pattern; only the argless form hides state.
+                if not node.args and not node.keywords:
+                    yield Finding(
+                        ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                        "argless default_rng() seeds from the OS; use "
+                        "repro.utils.seeding.rng_for for a named, "
+                        "replayable seed",
+                    )
+                return
+            if attr == "seed":
+                message = (
+                    "np.random.seed mutates the process-global RNG; derive "
+                    "a Generator via repro.utils.seeding.rng_for instead"
+                )
+            else:
+                message = (
+                    f"global np.random.{attr}(...) draw depends on call "
+                    "order; draw from a seeded Generator (rng_for) instead"
+                )
+            yield Finding(
+                ctx.relpath, node.lineno, node.col_offset + 1, self.id, message
+            )
+        elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+            yield Finding(
+                ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                "argless default_rng() seeds from the OS; use "
+                "repro.utils.seeding.rng_for for a named, replayable seed",
+            )
+        elif len(parts) == 2 and parts[0] == "random":
+            yield Finding(
+                ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                f"stdlib random.{parts[1]}(...) is process-global state; "
+                "use a seeded numpy Generator (rng_for)",
+            )
+
+
+@register
+class SimPurityRule(Rule):
+    id = "R002"
+    name = "sim-purity"
+    invariant = (
+        "sim/serving/core code never reads host wall clocks or os.environ; "
+        "simulated time comes from the event loop, configuration from "
+        "explicit parameters"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not in_scope(ctx.relpath, self.config.sim_pure_scopes):
+            return ()
+        return list(self._walk(ctx))
+
+    def _walk(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if tuple(parts[-2:]) in _CLOCK_TAILS:
+                    yield Finding(
+                        ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                        f"wall-clock read {name}(...) in simulation scope: "
+                        "replays diverge per machine; use the event loop's "
+                        "simulated now",
+                    )
+                elif name in ("os.getenv",):
+                    yield Finding(
+                        ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                        "os.getenv in simulation scope: configuration must "
+                        "arrive as explicit parameters, not ambient state",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    node.attr == "environ"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "os"
+                ):
+                    yield Finding(
+                        ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                        "os.environ in simulation scope: configuration must "
+                        "arrive as explicit parameters, not ambient state",
+                    )

@@ -1,0 +1,284 @@
+"""R003 version-bump: routing-state mutations must invalidate caches.
+
+:class:`~repro.serving.engine.FlatServingEngine` memoizes queue-pressure
+and isolated-latency estimates keyed by a ``_state_version`` counter (and a
+placement ``_generation``).  The whole scheme is only sound if *every*
+mutation of the routing-scored state also advances the counter — PR 8
+shipped two real bugs of exactly this class (a stale isolated-latency
+cache under link repricing, a same-instant retry spin).
+
+The contract is declared in the code itself: a class opts in by defining
+
+.. code-block:: python
+
+    _ROUTING_STATE = frozenset({"_slot_used", "_backlog", ...})
+    _ROUTING_STATE_SETUP = ("run",)   # optional: wholesale (re)build methods
+
+and this rule then checks, per method, that every store into a declared
+attribute (``self.X = ...``, ``self.X[k] = ...``, ``self.X.append(...)``
+and friends) is followed on its fall-through path by a bump — a direct
+``self._state_version`` store, or a call to a sibling method that
+*unconditionally* bumps (``_bump_generation`` and the reserve/release
+helpers qualify; a method that only bumps inside a branch does not).
+``__init__`` and the declared setup methods are exempt (they build the
+state wholesale before anything can be cached).
+
+The path scan is deliberately simple: from the mutation statement, walk
+forward through the enclosing suites; a ``return``/``raise``/``break``/
+``continue`` hit before any bump — including a ``return`` nested inside a
+bump-free branch of a later statement — ends the path uncovered.  That is
+exactly
+strong enough that deleting any single ``self._state_version += 1`` line
+in the engine produces a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutils import (
+    const_str_elements,
+    dotted_name,
+    iter_methods,
+    self_attr_target,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: The class attribute naming the guarded state set.
+STATE_DECL = "_ROUTING_STATE"
+#: Optional class attribute naming wholesale-setup methods (exempt).
+SETUP_DECL = "_ROUTING_STATE_SETUP"
+#: The cache-coherence counter a mutation must advance.
+BUMP_ATTR = "_state_version"
+
+#: Method calls on a container attribute that mutate it in place.
+_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "add", "extend", "insert", "remove",
+        "discard", "pop", "popleft", "clear", "update", "setdefault", "sort",
+    }
+)
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+#: (attr, statement, suite-chain) — chain is innermost-last (suite, index).
+_Site = Tuple[str, ast.stmt, List[Tuple[Sequence[ast.stmt], int]]]
+
+
+def _own_expr_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """All expression nodes of a statement, excluding nested suites.
+
+    For an ``if``/``for``/``while`` this yields the header expressions but
+    not the body statements, so a mutation is attributed to its innermost
+    suite exactly once.
+    """
+    for _field, value in ast.iter_fields(stmt):
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            if isinstance(item, ast.stmt):
+                break  # a suite; handled by recursion
+            if isinstance(item, ast.AST):
+                yield from ast.walk(item)
+
+
+def _stored_attrs(stmt: ast.stmt) -> Iterator[Tuple[str, ast.AST]]:
+    """Attribute names stored by this statement's own expressions."""
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+        targets: List[ast.AST]
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        else:
+            targets = [stmt.target]
+        for target in targets:
+            elements = (
+                target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            )
+            for element in elements:
+                attr = self_attr_target(element)
+                if attr is not None:
+                    yield attr, element
+    for node in _own_expr_nodes(stmt):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                attr = self_attr_target(node.func.value)
+                if attr is not None:
+                    yield attr, node
+
+
+def _stmt_bumps(stmt: ast.stmt, unconditional: Set[str]) -> bool:
+    """Whether this statement (anywhere within it) advances the counter."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if self_attr_target(target) == BUMP_ATTR:
+                    return True
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.startswith("self."):
+                if name[len("self."):] in unconditional:
+                    return True
+    return False
+
+
+def _stmt_bumps_directly(stmt: ast.stmt, unconditional: Set[str]) -> bool:
+    """Like :func:`_stmt_bumps` but only this statement's own expressions —
+    used for the *unconditional* classification, where a bump hidden in a
+    nested branch must not count."""
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if self_attr_target(target) == BUMP_ATTR:
+                return True
+    for node in _own_expr_nodes(stmt):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.startswith("self."):
+                if name[len("self."):] in unconditional:
+                    return True
+    return False
+
+
+def _collect_sites(
+    method: ast.FunctionDef, declared: Set[str]
+) -> List[_Site]:
+    sites: List[_Site] = []
+
+    def visit(suite: Sequence[ast.stmt], ancestors) -> None:
+        for index, stmt in enumerate(suite):
+            chain = ancestors + [(suite, index)]
+            for attr, node in _stored_attrs(stmt):
+                if attr in declared:
+                    sites.append((attr, stmt, chain))
+            for _field, value in ast.iter_fields(stmt):
+                if (
+                    isinstance(value, list)
+                    and value
+                    and isinstance(value[0], ast.stmt)
+                ):
+                    visit(value, chain)
+
+    visit(method.body, [])
+    return sites
+
+
+def _terminates_within(stmt: ast.stmt) -> bool:
+    """Whether the statement can exit the method (a ``return``/``raise``
+    anywhere inside it, nested closures excluded)."""
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Return, ast.Raise)):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+    return False
+
+
+def _covered(site: _Site, unconditional: Set[str]) -> bool:
+    """Fall-through scan: does a bump follow this mutation on every
+    straight-line continuation?  A terminator before a bump ends the path
+    uncovered — including a ``return``/``raise`` nested in a bump-free
+    branch of a follower (``if not flush: return``) — and falling off a
+    suite ascends to the enclosing one."""
+    _attr, stmt, chain = site
+    first = True
+    for suite, index in reversed(chain):
+        start = index if first else index + 1
+        first = False
+        for follower in suite[start:]:
+            if _stmt_bumps(follower, unconditional):
+                return True
+            if isinstance(follower, _TERMINATORS):
+                return False
+            if _terminates_within(follower):
+                return False
+    return False
+
+
+@register
+class VersionBumpRule(Rule):
+    id = "R003"
+    name = "version-bump"
+    invariant = (
+        "every mutation of a declared routing-state attribute advances "
+        "_state_version (or calls _bump_generation) before the method "
+        "returns, so state-keyed caches can never serve stale floats"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _declarations(
+        self, classdef: ast.ClassDef
+    ) -> Tuple[Optional[ast.stmt], Optional[Tuple[str, ...]], Tuple[str, ...]]:
+        decl_stmt = None
+        declared: Optional[Tuple[str, ...]] = None
+        setup: Tuple[str, ...] = ()
+        for stmt in classdef.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if STATE_DECL in names and stmt.value is not None:
+                decl_stmt = stmt
+                declared = const_str_elements(stmt.value)
+            elif SETUP_DECL in names and stmt.value is not None:
+                setup = const_str_elements(stmt.value) or ()
+        return decl_stmt, declared, setup
+
+    def _check_class(self, ctx: FileContext, classdef: ast.ClassDef) -> Iterator[Finding]:
+        decl_stmt, declared, setup = self._declarations(classdef)
+        if decl_stmt is None:
+            return
+        if not declared:
+            yield Finding(
+                ctx.relpath, decl_stmt.lineno, decl_stmt.col_offset + 1, self.id,
+                f"{STATE_DECL} must be a literal set/tuple of attribute-name "
+                "strings so the linter can read the contract",
+            )
+            return
+        declared_set = set(declared)
+        exempt = {"__init__"} | set(setup)
+        methods = [m for m in iter_methods(classdef) if m.name not in exempt]
+
+        # Fixpoint: methods that bump on every call (top-level of the body).
+        unconditional: Set[str] = set()
+        while True:
+            grew = False
+            for method in methods:
+                if method.name in unconditional:
+                    continue
+                if any(
+                    _stmt_bumps_directly(stmt, unconditional)
+                    for stmt in method.body
+                ):
+                    unconditional.add(method.name)
+                    grew = True
+            if not grew:
+                break
+
+        for method in methods:
+            reported: Set[int] = set()
+            for site in _collect_sites(method, declared_set):
+                attr, stmt, _chain = site
+                if _covered(site, unconditional):
+                    continue
+                if stmt.lineno in reported:
+                    continue
+                reported.add(stmt.lineno)
+                yield Finding(
+                    ctx.relpath, stmt.lineno, stmt.col_offset + 1, self.id,
+                    f"{classdef.name}.{method.name} mutates routing state "
+                    f"'{attr}' without a {BUMP_ATTR} bump (or "
+                    "_bump_generation call) on the fall-through path — "
+                    "state-keyed caches would serve stale values",
+                )

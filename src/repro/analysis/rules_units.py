@@ -1,0 +1,64 @@
+"""R006 units-docstring: public quantity-returning APIs state their units.
+
+Solver objectives are priced in seconds, the energy ledger in joules,
+memory in bytes, power in watts — and a unit mix-up survives every test
+that only checks relative ordering.  Public functions whose *names* claim
+a unit (``transfer_seconds``, ``compute_joules``, ``payload_bytes``,
+``active_watts``…) must therefore say the unit in their docstring, so a
+caller reading the API contract never has to guess milli vs. base units.
+
+The rule is name-driven: a public function (or property/method) in the
+scanned packages whose name contains ``second``/``joule``/``byte``/
+``watt`` needs a docstring mentioning that unit word.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from repro.analysis.config import in_scope
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: Unit word stems looked for in names and required in docstrings.
+_UNIT_STEMS: Tuple[str, ...] = ("second", "joule", "byte", "watt")
+
+
+@register
+class UnitsDocstringRule(Rule):
+    id = "R006"
+    name = "units-docstring"
+    invariant = (
+        "public functions named after a physical quantity state the unit "
+        "in their docstring (seconds, joules, bytes, watts)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not in_scope(ctx.relpath, self.config.units_scopes):
+            return ()
+        return list(self._walk(ctx))
+
+    def _walk(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            stems = [stem for stem in _UNIT_STEMS if stem in node.name]
+            if not stems:
+                continue
+            doc = (ast.get_docstring(node) or "").lower()
+            missing = [stem for stem in stems if stem not in doc]
+            if not doc:
+                yield Finding(
+                    ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                    f"public function '{node.name}' names a unit "
+                    f"({', '.join(stems)}) but has no docstring stating it",
+                )
+            elif missing:
+                yield Finding(
+                    ctx.relpath, node.lineno, node.col_offset + 1, self.id,
+                    f"public function '{node.name}' never states its unit "
+                    f"({', '.join(missing)}) in the docstring",
+                )

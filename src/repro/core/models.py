@@ -69,7 +69,7 @@ class ModelSpec:
         return float(self.work_scale.get(module_name, 1.0))
 
     def payload_bytes(self, modality: str) -> int:
-        """Request payload size for one modality's input data."""
+        """Request payload size in bytes for one modality's input data."""
         if modality in self.input_bytes:
             return int(self.input_bytes[modality])
         if modality in DEFAULT_INPUT_BYTES:

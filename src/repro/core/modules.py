@@ -99,7 +99,7 @@ class ModuleSpec:
 
     @property
     def memory_bytes(self) -> int:
-        """Deployment memory requirement ``r_m`` of Eq. 4d."""
+        """Deployment memory requirement ``r_m`` of Eq. 4d, in bytes."""
         return params_to_bytes(self.params, self.bytes_per_param)
 
     @property

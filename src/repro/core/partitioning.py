@@ -43,6 +43,7 @@ class PartitionedModule:
 
     @property
     def total_memory_bytes(self) -> int:
+        """Summed memory requirement of every stage, in bytes."""
         return sum(stage.memory_bytes for stage in self.stages)
 
 
@@ -145,7 +146,7 @@ def chain_seconds(
     work_scale: float = 1.0,
     devices: Dict[str, DeviceProfile] = None,
 ) -> float:
-    """End-to-end time of the sequential stage chain.
+    """End-to-end time of the sequential stage chain, in seconds.
 
     Sum of per-stage compute plus inter-stage activation transfers where
     adjacent stages sit on different devices.

@@ -72,7 +72,8 @@ class PlacementProblem:
             return scale
 
     def compute_seconds(self, module: ModuleSpec, device: DeviceProfile) -> float:
-        """Planning ``t^comp_{m,n}`` with the planning work scale and noise.
+        """Planning ``t^comp_{m,n}`` in seconds with the planning work
+        scale and noise.
 
         Memoized per (module, device) name pair so candidate rankings in
         :func:`~repro.core.placement.greedy.greedy_placement` and

@@ -152,7 +152,7 @@ class LatencyModel:
     # Timing oracles (request-scaled, unlike the problem's planning scale)
     # ------------------------------------------------------------------
     def compute_seconds(self, request: InferenceRequest, module_name: str, device_name: str) -> float:
-        """``t^comp_{m,n}`` with the requesting model's work scale."""
+        """``t^comp_{m,n}`` in seconds with the requesting model's work scale."""
         tensors = self.tensors
         if tensors is not None and tensors.has_module(module_name) and tensors.has_device(device_name):
             value = tensors.compute_value(request.model, module_name, device_name)
@@ -161,8 +161,9 @@ class LatencyModel:
         return self.compute_seconds_scalar(request, module_name, device_name)
 
     def compute_seconds_scalar(self, request: InferenceRequest, module_name: str, device_name: str) -> float:
-        """``t^comp`` through the device oracle directly — never the tensor
-        cache, so the ``*_scalar`` reference paths stay fully independent."""
+        """``t^comp`` in seconds through the device oracle directly — never
+        the tensor cache, so the ``*_scalar`` reference paths stay fully
+        independent."""
         module = self._module(module_name)
         device = self.problem.device(device_name)
         base = device.compute_seconds(module, work_scale=request.model.scale_for(module_name))

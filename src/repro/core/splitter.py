@@ -50,7 +50,7 @@ class SplitModel:
 
     @property
     def max_module_memory_bytes(self) -> int:
-        """Worst per-device memory requirement after splitting."""
+        """Worst per-device memory requirement after splitting, in bytes."""
         return max(module.memory_bytes for module in self.modules)
 
     @property

@@ -42,7 +42,7 @@ class LinkProfile:
             raise ConfigurationError(f"link {self.a}-{self.b}: latency must be non-negative")
 
     def transfer_seconds(self, payload_bytes: int) -> float:
-        """One-hop transfer time: propagation + serialization."""
+        """One-hop transfer time in seconds: propagation + serialization."""
         return self.latency_s + payload_bytes * 8 / self.bandwidth_bps
 
 

@@ -42,7 +42,8 @@ class ComputeModel:
         model: Optional[ModelSpec] = None,
         batch_size: int = 1,
     ) -> float:
-        """Service time for ``batch_size`` requests of ``model`` on ``module``."""
+        """Service time in seconds for ``batch_size`` requests of ``model``
+        on ``module``."""
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         scale = model.scale_for(module.name) if model is not None else 1.0
@@ -58,7 +59,7 @@ class ComputeModel:
         return module.memory_bytes <= device.memory_bytes
 
     def load_seconds(self, module: ModuleSpec, device: DeviceProfile) -> float:
-        """Model-loading time (the Table VII end-to-end component)."""
+        """Model-loading time in seconds (the Table VII end-to-end component)."""
         return device.load_seconds(module)
 
 

@@ -70,14 +70,16 @@ class DeviceProfile:
         )
 
     def compute_seconds(self, module: ModuleSpec, work_scale: float = 1.0) -> float:
-        """Pure compute time ``t^comp_{m,n}`` for one request on this device."""
+        """Pure compute time ``t^comp_{m,n}`` in seconds for one request
+        on this device."""
         throughput = self.throughput_for(module)
         if throughput <= 0:
             raise ConfigurationError(f"device {self.name!r}: non-positive throughput")
         return module.work * work_scale / throughput
 
     def load_seconds(self, module: ModuleSpec) -> float:
-        """Time to load ``module``'s weights into memory on this device."""
+        """Time in seconds to load ``module``'s weights into memory on
+        this device."""
         if module.memory_bytes == 0:
             return 0.0
         return module.memory_bytes / self.load_throughput_bps

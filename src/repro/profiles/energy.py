@@ -48,9 +48,11 @@ class EnergyProfile:
     radio_nj_per_byte: float  # nanojoules per transmitted/received byte
 
     def compute_joules(self, seconds: float) -> float:
+        """Active-compute energy in joules for ``seconds`` of busy time."""
         return self.active_watts * seconds
 
     def transfer_joules(self, payload_bytes: int) -> float:
+        """Radio energy in joules to move ``payload_bytes`` over the air."""
         return self.radio_nj_per_byte * payload_bytes * 1e-9
 
 

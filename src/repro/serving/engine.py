@@ -111,6 +111,20 @@ _IS_HEAD, _IDX, _PATH, _EST, _MODEL, _CANCELLED, _NOTIFIED, _KEY = range(8)
 class FlatServingEngine:
     """One serving run on the flat event loop; built fresh per ``run``."""
 
+    #: Cache-coherence contract, machine-checked by lint rule R003: any
+    #: method that mutates one of these routing-scored attributes must
+    #: advance ``_state_version`` (directly or via ``_bump_generation``)
+    #: on its fall-through path, or the pressure/isolated caches keyed on
+    #: the counter would serve stale floats.  ``run`` is exempt: it builds
+    #: the state wholesale before the event loop starts.
+    _ROUTING_STATE = frozenset(
+        {
+            "_slot_used", "_slot_waiters", "_backlog", "_reserved",
+            "_slow", "_live", "_placement",
+        }
+    )
+    _ROUTING_STATE_SETUP = ("run",)
+
     def __init__(self, runtime) -> None:
         self.rt = runtime
 

@@ -117,8 +117,8 @@ class ScalingRecord:
 
 
 def merged_busy_seconds(intervals, horizon_s: float) -> float:
-    """Total length of the union of ``(start, end)`` intervals, clipped to
-    ``[0, horizon_s]``.
+    """Total length in seconds of the union of ``(start, end)`` intervals,
+    clipped to ``[0, horizon_s]``.
 
     Overlapping compute spans (a multi-slot device running two batches at
     once) must not double-charge active power — a device is *active* while

@@ -69,6 +69,7 @@ class TraceRecorder:
         grouped: Dict[str, List[Span]] = {}
         for span in self.spans:
             grouped.setdefault(span.device, []).append(span)
+        # repro-lint: disable=R004 -- every group is sorted in place; visit order cannot change the result
         for spans in grouped.values():
             spans.sort(key=lambda s: (s.start, s.end))
         return grouped

@@ -78,6 +78,21 @@ class TestTensorBitIdentity:
                         == model.route_scalar(request, placement).hosts
                     )
 
+    def test_compute_seconds_matches_scalar(self):
+        network = Network()
+        problem = noisy_problem(["clip-vit-b16", "imagebind"], edge_device_names(), 1)
+        model = LatencyModel(problem, network)
+        requests = [
+            InferenceRequest.for_model("clip-vit-b16", "jetson-a"),
+            InferenceRequest.for_model("imagebind", "desktop"),
+        ]
+        for request in requests:
+            for module in request.model.module_names:
+                for device in problem.devices:
+                    assert model.compute_seconds(request, module, device.name) == (
+                        model.compute_seconds_scalar(request, module, device.name)
+                    )
+
     def test_nonparallel_mode_matches_scalar(self):
         network = Network()
         problem = noisy_problem(["clip-vit-b16", "imagebind"], edge_device_names(), 3)

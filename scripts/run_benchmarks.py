@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Run the placement perf benchmarks; emit ``BENCH_placement.json``,
 ``BENCH_energy.json``, ``BENCH_replicas.json``, ``BENCH_serving.json``,
-``BENCH_validation.json``, and ``BENCH_resilience.json``.
+``BENCH_validation.json``, ``BENCH_resilience.json``, and
+``BENCH_federation.json``.
 
 This is the repo's recorded perf trajectory: the instance-size sweep
 (scalar vs. tensorized objective, brute force vs. branch-and-bound), a
@@ -17,7 +18,10 @@ solver-vs-serving validation sweep (predicted vs serving-measured latency
 on queue-aware and queue-blind placements, see ``docs/performance.md``),
 and the fault-scenario resilience study (named fault scenarios served
 with and without graceful degradation, with conservation, engine-identity
-and determinism gates, see ``docs/serving.md``).
+and determinism gates, see ``docs/serving.md``), and the WAN federation
+study (three timezone-offset clusters with spillover routing vs isolated,
+with cross-cluster conservation, parallel-vs-sequential merge
+bit-identity, and spillover-wins gates, see ``docs/federation.md``).
 The checked-in JSONs are regenerated with::
 
     python scripts/run_benchmarks.py
@@ -25,7 +29,8 @@ The checked-in JSONs are regenerated with::
 and CI runs the trimmed ``--smoke`` variant on every push (writing
 ``BENCH_smoke.json`` / ``BENCH_energy_smoke.json`` /
 ``BENCH_replicas_smoke.json`` / ``BENCH_serving_smoke.json`` /
-``BENCH_validation_smoke.json`` / ``BENCH_resilience_smoke.json``),
+``BENCH_validation_smoke.json`` / ``BENCH_resilience_smoke.json`` /
+``BENCH_federation_smoke.json``),
 uploading
 the JSONs as artifacts so the trend is inspectable per commit.  See
 ``docs/performance.md`` for the schema and how to read the numbers.
@@ -584,6 +589,85 @@ def bench_resilience(smoke: bool) -> dict:
     return result
 
 
+def bench_federation(smoke: bool) -> dict:
+    """WAN federation: spillover routing vs isolated clusters (gated).
+
+    Runs the SAME study as ``python -m repro federation --study``
+    (:func:`repro.experiments.federation.run_federation_study` — one
+    definition, no drift) at full or smoke duration.  Gates recorded in
+    the payload: (a) per-cluster and global cross-cluster conservation in
+    every (scenario, mode) cell, (b) ``merge(parallel)`` bit-identical to
+    ``merge(sequential)`` for the same seed, (c) spillover beating the
+    isolated baseline on goodput **or** p95 under the regional outage AND
+    under offset diurnal peaks, (d) same-seed rerun digest determinism.
+    """
+    from repro.experiments.federation import (
+        STUDY_DURATION_S,
+        STUDY_RATE_RPS,
+        STUDY_SEED,
+        run_federation_study,
+        study_fault_plans,
+        study_runtime,
+    )
+
+    duration_s = 40.0 if smoke else STUDY_DURATION_S
+    start = time.perf_counter()
+    reports = run_federation_study(duration_s, STUDY_SEED)
+    result = {
+        "workload": "diurnal",
+        "rate_rps_per_cluster": STUDY_RATE_RPS,
+        "duration_s": duration_s,
+        "seed": STUDY_SEED,
+        "clusters": len(reports[0][2].clusters),
+        "local_arrivals": reports[0][2].local_arrivals,
+        "scenarios": {},
+    }
+    for scenario, key, report in reports:
+        per_cluster_ok = all(
+            c.arrivals == c.local_arrivals - c.forwarded_out + c.forwarded_in
+            and c.completed + c.rejected + c.timed_out == c.arrivals
+            for c in report.clusters
+        )
+        ledger = sum(
+            c.completed + c.rejected + c.timed_out + c.forwarded_out - c.forwarded_in
+            for c in report.clusters
+        )
+        cell = result["scenarios"].setdefault(scenario, {})
+        cell[key] = {
+            "goodput_rps": round(report.goodput_rps, 6),
+            "p50_s": round(report.latency.p50, 4),
+            "p95_s": round(report.latency.p95, 4),
+            "completed": report.completed,
+            "forwarded": report.forwarded,
+            "rejected": report.rejected,
+            "timed_out": report.timed_out,
+            "slo_attainment": round(report.slo_attainment, 6),
+            "conservation_ok": per_cluster_ok and ledger == report.local_arrivals,
+            "digest": report.digest(),
+        }
+    for scenario, cell in result["scenarios"].items():
+        cell["spillover_beats_isolated"] = (
+            cell["spillover"]["goodput_rps"] > cell["isolated"]["goodput_rps"]
+            or cell["spillover"]["p95_s"] < cell["isolated"]["p95_s"]
+        )
+
+    # Gate (b): the multiprocess fan-out must merge bit-identically to the
+    # sequential oracle — same seed, outage scenario (the hardest cell).
+    runtime = study_runtime(spillover=True, duration_s=duration_s)
+    plans = study_fault_plans("regional-outage", duration_s)
+    sequential = runtime.run(STUDY_SEED, fault_plans=plans, parallel=False)
+    parallel = runtime.run(STUDY_SEED, fault_plans=plans, parallel=True)
+    result["parallel_matches_sequential"] = parallel.digest() == sequential.digest()
+
+    # Gate (d): same-seed rerun of the whole study reproduces every digest.
+    rerun = run_federation_study(duration_s, STUDY_SEED)
+    result["deterministic"] = all(
+        a[2].digest() == b[2].digest() for a, b in zip(reports, rerun)
+    )
+    result["wall_s"] = round(time.perf_counter() - start, 4)
+    return result
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -627,6 +711,12 @@ def main() -> int:
         "BENCH_resilience.json for full runs, BENCH_resilience_smoke.json "
         "for --smoke)",
     )
+    parser.add_argument(
+        "--federation-output", type=Path, default=None,
+        help="where to write the WAN federation JSON (default: "
+        "BENCH_federation.json for full runs, BENCH_federation_smoke.json "
+        "for --smoke)",
+    )
     args = parser.parse_args()
     if args.output is None:
         args.output = REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_placement.json")
@@ -649,6 +739,10 @@ def main() -> int:
     if args.resilience_output is None:
         args.resilience_output = REPO_ROOT / (
             "BENCH_resilience_smoke.json" if args.smoke else "BENCH_resilience.json"
+        )
+    if args.federation_output is None:
+        args.federation_output = REPO_ROOT / (
+            "BENCH_federation_smoke.json" if args.smoke else "BENCH_federation.json"
         )
 
     import numpy
@@ -761,6 +855,18 @@ def main() -> int:
     args.resilience_output.write_text(json.dumps(resilience_results, indent=2) + "\n")
     print(f"wrote {args.resilience_output}")
 
+    print("WAN federation study ...", flush=True)
+    federation_results = {
+        "benchmark": "wan-federation",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+    federation_results.update(bench_federation(args.smoke))
+    args.federation_output.write_text(json.dumps(federation_results, indent=2) + "\n")
+    print(f"wrote {args.federation_output}")
+
     failures = []
     for row in results["objective_sweep"]:
         if not row["bit_identical"]:
@@ -852,6 +958,27 @@ def main() -> int:
         failures.append(
             "resilience: same-seed rerun produced a different fault trace "
             "or metrics"
+        )
+    for scenario, cell in federation_results["scenarios"].items():
+        for key in ("isolated", "spillover"):
+            if not cell[key]["conservation_ok"]:
+                failures.append(
+                    f"federation: cross-cluster conservation violated "
+                    f"({scenario}/{key})"
+                )
+        if not cell["spillover_beats_isolated"]:
+            failures.append(
+                f"federation: WAN spillover does not beat isolated clusters "
+                f"on goodput or p95 ({scenario})"
+            )
+    if not federation_results["parallel_matches_sequential"]:
+        failures.append(
+            "federation: parallel per-cluster simulation does not merge "
+            "bit-identically to the sequential oracle"
+        )
+    if not federation_results["deterministic"]:
+        failures.append(
+            "federation: same-seed rerun produced a different merged digest"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

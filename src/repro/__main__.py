@@ -14,6 +14,11 @@ And runs the online serving runtime (see docs/serving.md):
 And the AST invariant linter (see docs/analysis.md):
 
     python -m repro lint --format json
+
+And the multi-cluster WAN federation (see docs/federation.md):
+
+    python -m repro federation --study
+    python -m repro federation --outage --parallel
 """
 
 from __future__ import annotations
@@ -133,7 +138,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 
 
 #: Subcommands with their own argv (not experiment artifacts).
-SUBCOMMANDS = ("serve", "lint")
+SUBCOMMANDS = ("serve", "lint", "federation")
 
 
 def cli_commands() -> frozenset:
@@ -307,17 +312,82 @@ def serve_main(argv=None) -> int:
     return 0
 
 
+def federation_main(argv=None) -> int:
+    """The ``federation`` subcommand: multi-cluster WAN spillover runs."""
+    from repro.experiments.federation import (
+        FEDERATION_SCENARIOS,
+        STUDY_DURATION_S,
+        STUDY_SEED,
+        render_federation,
+        study_fault_plans,
+        study_runtime,
+    )
+
+    def positive(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+        return value
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro federation",
+        description="Federate timezone-offset edge clusters over priced WAN "
+        "links and compare spillover routing against isolated clusters "
+        "(see docs/federation.md).",
+    )
+    parser.add_argument("--study", action="store_true",
+                        help="run the full scenario x mode study table "
+                        f"(scenarios: {', '.join(FEDERATION_SCENARIOS)}) "
+                        "instead of a single run")
+    parser.add_argument("--duration", type=positive, default=STUDY_DURATION_S,
+                        help="simulated seconds per cluster; the diurnal period "
+                        f"scales with it (default: {STUDY_DURATION_S:g})")
+    parser.add_argument("--seed", type=int, default=STUDY_SEED,
+                        help="determinism seed; per-cluster workload seeds are "
+                        f"derived from it by cluster name (default: {STUDY_SEED})")
+    parser.add_argument("--no-spillover", action="store_true",
+                        help="disable WAN forwarding (the isolated-clusters baseline)")
+    parser.add_argument("--outage", action="store_true",
+                        help="inject the regional outage (half of one cluster's "
+                        "devices fail for the middle half of the run)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="simulate clusters in separate worker processes; "
+                        "the report is bit-identical to the sequential oracle")
+    parser.add_argument("--engine", choices=("flat", "processes"), default="flat",
+                        help="per-cluster serving core (default: flat)")
+    args = parser.parse_args(argv)
+
+    if args.study:
+        print(render_federation(args.duration, args.seed, parallel=args.parallel))
+        return 0
+    scenario = "regional-outage" if args.outage else "offset-diurnal"
+    runtime = study_runtime(
+        spillover=not args.no_spillover, duration_s=args.duration, engine=args.engine
+    )
+    report = runtime.run(
+        args.seed,
+        fault_plans=study_fault_plans(scenario, args.duration),
+        parallel=args.parallel,
+    )
+    print(report.render())
+    print(f"  scenario {scenario}, digest {report.digest()[:16]}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "federation":
+        return federation_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate S2M3 paper artifacts (tables, figures, stats).",
         epilog="Also: 'python -m repro serve --help' runs the online serving "
-        "runtime, and 'python -m repro lint' the AST invariant checker.",
+        "runtime, 'python -m repro lint' the AST invariant checker, and "
+        "'python -m repro federation' the multi-cluster WAN federation.",
     )
     parser.add_argument(
         "experiment",

@@ -38,13 +38,13 @@ class LintConfig:
     #: Files allowed to touch ``np.random`` directly (the seeding shrine).
     seeding_allowlist: Tuple[str, ...] = ("utils/seeding.py",)
     #: Packages whose code must never read wall clocks or the environment.
-    sim_pure_scopes: Tuple[str, ...] = ("sim/", "serving/", "core/")
+    sim_pure_scopes: Tuple[str, ...] = ("sim/", "serving/", "core/", "federation/")
     #: Packages whose iteration order must be explicit (replay paths).
-    ordered_iter_scopes: Tuple[str, ...] = ("sim/", "serving/")
+    ordered_iter_scopes: Tuple[str, ...] = ("sim/", "serving/", "federation/")
     #: Packages scanned for public ``X``/``X_scalar`` oracle pairs.
-    parity_scopes: Tuple[str, ...] = ("core/", "serving/")
+    parity_scopes: Tuple[str, ...] = ("core/", "serving/", "federation/")
     #: Packages whose public unit-named functions must state units.
-    units_scopes: Tuple[str, ...] = ("profiles/", "core/", "serving/")
+    units_scopes: Tuple[str, ...] = ("profiles/", "core/", "serving/", "federation/")
 
     def rule_enabled(self, rule_id: str) -> bool:
         return self.enabled_rules is None or rule_id in self.enabled_rules

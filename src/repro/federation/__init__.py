@@ -1,0 +1,53 @@
+"""Multi-cluster WAN federation over the single-cluster serving stack.
+
+Named edge clusters — each a full single-cluster deployment with its own
+devices, topology, placement, and faults — sit behind a federation router
+that prices WAN links and forwards overload to linked peers.  The package
+splits cleanly by responsibility:
+
+- :mod:`~repro.federation.topology` — validated cluster specs, WAN links,
+  and the WAN cost model;
+- :mod:`~repro.federation.router` — the deterministic admission/spillover
+  planner (pure function of traces + faults + topology);
+- :mod:`~repro.federation.runtime` — independent per-cluster simulations,
+  sequential (oracle) or multiprocess, over the routed traces;
+- :mod:`~repro.federation.report` — per-cluster and merged reports, the
+  cross-cluster conservation contract, and the run digest.
+
+See ``docs/federation.md`` for the cost model, spillover semantics, and
+the merge contract in prose.
+"""
+
+from repro.federation.report import ClusterReport, FederationReport, merge_reports
+from repro.federation.router import (
+    SPILLOVER_PAYLOAD_MB,
+    SPILLOVER_WINDOW_S,
+    ClusterRoute,
+    SpilloverDecision,
+    live_fraction,
+    plan_spillover,
+)
+from repro.federation.runtime import (
+    FEDERATION_MODELS,
+    ClusterTask,
+    FederationRuntime,
+)
+from repro.federation.topology import ClusterSpec, FederationTopology, WanLink
+
+__all__ = [
+    "SPILLOVER_PAYLOAD_MB",
+    "SPILLOVER_WINDOW_S",
+    "FEDERATION_MODELS",
+    "ClusterReport",
+    "ClusterRoute",
+    "ClusterSpec",
+    "ClusterTask",
+    "FederationReport",
+    "FederationRuntime",
+    "FederationTopology",
+    "SpilloverDecision",
+    "WanLink",
+    "live_fraction",
+    "merge_reports",
+    "plan_spillover",
+]

@@ -1,0 +1,246 @@
+"""Federation reporting: per-cluster summaries and the merged contract.
+
+A federation run produces one :class:`ClusterReport` per cluster —
+computed *inside* the cluster's own (possibly separate-process) simulation
+from its :class:`~repro.serving.report.ServingReport` — and
+:func:`merge_reports` folds them into a :class:`FederationReport`.  The
+merge is a pure function of the sorted cluster reports, which is the whole
+trick behind ``merge(parallel) == merge(sequential)``: whatever process
+produced a :class:`ClusterReport`, identical inputs give identical bytes.
+
+The merge enforces the **cross-cluster conservation contract** and raises
+:class:`RuntimeError` (never a warning) when it fails:
+
+- per cluster: ``arrivals == local_arrivals - forwarded_out +
+  forwarded_in`` and ``completed + rejected + timed_out == arrivals``;
+- globally: ``sum(completed + rejected + timed_out + forwarded_out -
+  forwarded_in) == sum(local_arrivals)`` — no request is created or lost
+  by crossing the WAN.
+
+End-to-end latency of a forwarded request is its serving latency plus the
+WAN penalty (forward + return, priced in
+:mod:`repro.federation.topology`); SLO attainment and goodput are judged
+on that end-to-end number.  Makespans are local serving makespans (the
+response's WAN return leg shifts when the *user* sees the answer but keeps
+no cluster busy, so it is priced into latency, not makespan).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.cluster.metrics import LatencySummary, summarize_latencies
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """One cluster's share of a federation run (picklable, process-safe).
+
+    ``e2e_latencies`` are end-to-end seconds (serving latency plus WAN
+    penalty for forwarded-in requests) of completed requests, in record
+    order.  ``record_digest`` pins the full per-request outcome stream
+    with request ids rebased to the cluster's first id, so reports built
+    in different worker processes compare bit-for-bit.
+    """
+
+    name: str
+    workload_kind: str
+    seed: int
+    duration_s: float
+    local_arrivals: int
+    forwarded_in: int
+    forwarded_out: int
+    arrivals: int
+    admitted: int
+    rejected: int
+    completed: int
+    slo_met: int
+    timed_out: int
+    retries: int
+    makespan_s: float
+    e2e_latencies: Tuple[float, ...]
+    record_digest: str
+
+    def validate(self) -> None:
+        """Enforce this cluster's conservation rows (RuntimeError on loss)."""
+        if self.arrivals != self.local_arrivals - self.forwarded_out + self.forwarded_in:
+            raise RuntimeError(
+                f"cluster {self.name!r} violated routing conservation: "
+                f"{self.arrivals} arrivals != {self.local_arrivals} local "
+                f"- {self.forwarded_out} out + {self.forwarded_in} in"
+            )
+        if self.completed + self.rejected + self.timed_out != self.arrivals:
+            raise RuntimeError(
+                f"cluster {self.name!r} lost requests: {self.completed} completed "
+                f"+ {self.rejected} rejected + {self.timed_out} timed out "
+                f"!= {self.arrivals} arrivals"
+            )
+
+    @property
+    def goodput_rps(self) -> float:
+        """Requests/second completed within SLO, end-to-end."""
+        elapsed = max(self.duration_s, self.makespan_s)
+        return self.slo_met / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class FederationReport:
+    """The merged outcome of one federation run.
+
+    ``clusters`` is always in sorted-name order; ``latency`` summarizes
+    the concatenated end-to-end latencies of all clusters.
+    """
+
+    clusters: Tuple[ClusterReport, ...]
+    spillover: bool
+    latency: LatencySummary
+
+    @property
+    def local_arrivals(self) -> int:
+        return sum(c.local_arrivals for c in self.clusters)
+
+    @property
+    def forwarded(self) -> int:
+        return sum(c.forwarded_out for c in self.clusters)
+
+    @property
+    def completed(self) -> int:
+        return sum(c.completed for c in self.clusters)
+
+    @property
+    def rejected(self) -> int:
+        return sum(c.rejected for c in self.clusters)
+
+    @property
+    def timed_out(self) -> int:
+        return sum(c.timed_out for c in self.clusters)
+
+    @property
+    def slo_met(self) -> int:
+        return sum(c.slo_met for c in self.clusters)
+
+    @property
+    def elapsed_s(self) -> float:
+        return max(
+            max(c.duration_s for c in self.clusters),
+            max(c.makespan_s for c in self.clusters),
+        )
+
+    @property
+    def goodput_rps(self) -> float:
+        """Federation-wide requests/second completed within end-to-end SLO."""
+        elapsed = self.elapsed_s
+        return self.slo_met / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.slo_met / self.completed if self.completed else 0.0
+
+    def cluster(self, name: str) -> ClusterReport:
+        for report in self.clusters:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    def validate(self) -> None:
+        """Enforce the cross-cluster conservation contract.
+
+        Raises :class:`RuntimeError` when any cluster row or the global
+        ledger does not balance — lost or double-counted work is a bug,
+        never a statistic.
+        """
+        for report in self.clusters:
+            report.validate()
+        ledger = sum(
+            c.completed + c.rejected + c.timed_out + c.forwarded_out - c.forwarded_in
+            for c in self.clusters
+        )
+        if ledger != self.local_arrivals:
+            raise RuntimeError(
+                f"federation lost requests across the WAN: ledger {ledger} "
+                f"!= {self.local_arrivals} local arrivals"
+            )
+        out = sum(c.forwarded_out for c in self.clusters)
+        into = sum(c.forwarded_in for c in self.clusters)
+        if out != into:
+            raise RuntimeError(
+                f"federation forwarding does not balance: {out} forwarded out "
+                f"!= {into} forwarded in"
+            )
+
+    def digest(self) -> str:
+        """A stable content hash of the full merged outcome.
+
+        Two runs are *the same run* iff their digests match; this is what
+        the parallel-vs-sequential bit-identity gate compares.
+        """
+        parts = [repr(self.spillover), repr(self.latency)]
+        for c in self.clusters:
+            parts.append(
+                repr(
+                    (
+                        c.name, c.workload_kind, c.seed, c.duration_s,
+                        c.local_arrivals, c.forwarded_in, c.forwarded_out,
+                        c.arrivals, c.admitted, c.rejected, c.completed,
+                        c.slo_met, c.timed_out, c.retries, c.makespan_s,
+                        c.e2e_latencies, c.record_digest,
+                    )
+                )
+            )
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable per-cluster and federation-wide summary."""
+        lines = [
+            f"federation run — {len(self.clusters)} clusters, "
+            f"spillover {'on' if self.spillover else 'off'}",
+            f"  {'cluster':<12} {'local':>6} {'in':>5} {'out':>5} "
+            f"{'done':>6} {'slo':>6} {'rej':>5} {'t/o':>5} {'goodput':>8}",
+        ]
+        for c in self.clusters:
+            lines.append(
+                f"  {c.name:<12} {c.local_arrivals:>6} {c.forwarded_in:>5} "
+                f"{c.forwarded_out:>5} {c.completed:>6} {c.slo_met:>6} "
+                f"{c.rejected:>5} {c.timed_out:>5} {c.goodput_rps:>8.3f}"
+            )
+        lines.append(
+            f"  total: {self.local_arrivals} local arrivals, "
+            f"{self.forwarded} forwarded, {self.completed} completed, "
+            f"goodput {self.goodput_rps:.3f} rps, "
+            f"e2e p95 {self.latency.p95 * 1000.0:.1f} ms, "
+            f"slo attainment {self.slo_attainment:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def merge_reports(
+    reports: Sequence[ClusterReport], *, spillover: bool
+) -> FederationReport:
+    """Fold per-cluster reports into a validated :class:`FederationReport`.
+
+    A pure function of its inputs: cluster reports are sorted by name, the
+    end-to-end latencies concatenated in that order, and the conservation
+    contract checked before the report is returned.  Duplicate cluster
+    names raise :class:`ValueError`; conservation violations raise
+    :class:`RuntimeError`.
+    """
+    if not reports:
+        raise ValueError("merge_reports needs at least one cluster report")
+    ordered = tuple(sorted(reports, key=lambda r: r.name))
+    names = [r.name for r in ordered]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate cluster names in merge: {names}")
+    latencies: list = []
+    for report in ordered:
+        latencies.extend(report.e2e_latencies)
+    merged = FederationReport(
+        clusters=ordered,
+        spillover=spillover,
+        latency=summarize_latencies(
+            latencies, makespan=max(r.makespan_s for r in ordered)
+        ),
+    )
+    merged.validate()
+    return merged

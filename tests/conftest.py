@@ -6,9 +6,51 @@ import pytest
 
 from repro.cluster.topology import build_testbed
 from repro.core.placement.problem import PlacementProblem
+from repro.federation import ClusterSpec, FederationTopology, WanLink
 from repro.models.zoo import DEFAULT_ZOO
 from repro.profiles.devices import edge_device_names, testbed_device_names
+from repro.serving.workload import Arrival, ArrivalTrace
 from repro.utils.seeding import rng_for
+
+#: The two-model mix and four-device pool shared by the serving and
+#: federation suites (formerly duplicated per test module).
+SERVING_MODELS = ["clip-vit-b16", "encoder-vqa-small"]
+TESTBED_DEVICES = ["desktop", "laptop", "jetson-b", "jetson-a"]
+
+
+def burst_trace(count, spacing_s=0.1, model="clip-vit-b16", duration_s=10.0):
+    """A hand-built trace (bypasses the generator) for targeted scenarios.
+
+    The single definition of the helper formerly duplicated in
+    ``tests/test_serving_runtime.py``; arrivals land every ``spacing_s``
+    seconds starting at ``spacing_s``.
+    """
+    return ArrivalTrace(
+        arrivals=tuple(Arrival(spacing_s * (i + 1), model) for i in range(count)),
+        duration_s=duration_s,
+        kind="poisson",
+        seed=0,
+    )
+
+
+def small_federation(rate_rps=1.2, capacity_rps=1.8, period_s=60.0):
+    """A three-cluster full-mesh federation with thirds-of-a-period
+    timezone offsets — the shape the federation suites exercise."""
+    return FederationTopology(
+        clusters=(
+            ClusterSpec("us-west", rate_rps=rate_rps, capacity_rps=capacity_rps,
+                        phase_offset_s=0.0),
+            ClusterSpec("eu-central", rate_rps=rate_rps, capacity_rps=capacity_rps,
+                        phase_offset_s=period_s / 3.0),
+            ClusterSpec("ap-south", rate_rps=rate_rps, capacity_rps=capacity_rps,
+                        phase_offset_s=2.0 * period_s / 3.0),
+        ),
+        links=(
+            WanLink("us-west", "eu-central", latency_s=0.07, bandwidth_mbps=200.0),
+            WanLink("eu-central", "ap-south", latency_s=0.09, bandwidth_mbps=150.0),
+            WanLink("us-west", "ap-south", latency_s=0.11, bandwidth_mbps=120.0),
+        ),
+    )
 
 
 def seeded_noisy_problem(
@@ -46,6 +88,18 @@ def seeded_noisy_problem(
 def noisy_problem_factory():
     """The seeded instance generator, as a fixture for new suites."""
     return seeded_noisy_problem
+
+
+@pytest.fixture
+def burst_trace_factory():
+    """The hand-built trace helper, as a fixture for new suites."""
+    return burst_trace
+
+
+@pytest.fixture
+def federation_topology():
+    """A fresh three-cluster full-mesh federation (default shape)."""
+    return small_federation()
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,7 @@
 """The serving runtime: determinism, SLO admission, churn conservation."""
 
 import pytest
+from conftest import SERVING_MODELS, TESTBED_DEVICES, burst_trace
 
 from repro.__main__ import main
 from repro.serving import (
@@ -12,18 +13,8 @@ from repro.serving import (
 )
 from repro.serving.workload import Arrival, ArrivalTrace
 
-MODELS = ["clip-vit-b16", "encoder-vqa-small"]
-DEVICES = ["desktop", "laptop", "jetson-b", "jetson-a"]
-
-
-def burst_trace(count: int, spacing_s: float = 0.1, model: str = "clip-vit-b16") -> ArrivalTrace:
-    """A hand-built trace (bypasses the generator) for targeted scenarios."""
-    return ArrivalTrace(
-        arrivals=tuple(Arrival(spacing_s * (i + 1), model) for i in range(count)),
-        duration_s=10.0,
-        kind="poisson",
-        seed=0,
-    )
+MODELS = SERVING_MODELS
+DEVICES = TESTBED_DEVICES
 
 
 class TestDeterminism:

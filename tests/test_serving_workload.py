@@ -67,6 +67,44 @@ class TestWorkloadGenerator:
         trough = len(trace) - peak
         assert peak > 1.5 * trough
 
+    def test_phase_offset_shifts_the_peak(self):
+        """Offsetting by half a period swaps peak and trough halves."""
+        period = 100.0
+        kwargs = dict(
+            kind="diurnal", rate_rps=1.0, duration_s=period, seed=5,
+            diurnal_period_s=period, diurnal_amplitude=0.9,
+        )
+        shifted = WorkloadGenerator(
+            MODELS, phase_offset_s=period / 2, **kwargs
+        ).generate()
+        first_half = sum(1 for a in shifted.arrivals if a.time < period / 2)
+        second_half = len(shifted) - first_half
+        assert second_half > 1.5 * first_half
+
+    def test_phase_offset_zero_is_bit_identical(self):
+        """The default offset must reproduce the historical stream exactly
+        (the federation's timezone shifts ride on today's generator).  The
+        golden digest below was recorded from the generator *before*
+        ``phase_offset_s`` existed, so this pins offset 0 to the
+        pre-change stream bit-for-bit, not merely to itself."""
+        import hashlib
+
+        kwargs = dict(
+            kind="diurnal", rate_rps=1.2, duration_s=90.0, seed=11,
+            diurnal_period_s=45.0, diurnal_amplitude=0.8,
+        )
+        default = WorkloadGenerator(MODELS, **kwargs).generate()
+        explicit = WorkloadGenerator(MODELS, phase_offset_s=0.0, **kwargs).generate()
+        assert explicit == default
+        assert len(default) == 98
+        assert default.arrivals[0].time == 1.2302431310670119
+        digest = hashlib.sha256(
+            repr([(a.time, a.model_name) for a in default.arrivals]).encode()
+        ).hexdigest()
+        assert digest == (
+            "887140ecef3c5506c87dd463d81ade209d1f89b017e006ed6191d95e22859620"
+        )
+
     def test_validation(self):
         with pytest.raises(ValueError):
             WorkloadGenerator([], rate_rps=1.0)
@@ -80,6 +118,10 @@ class TestWorkloadGenerator:
             WorkloadGenerator(MODELS, burst_factor=0.5)
         with pytest.raises(ValueError):
             WorkloadGenerator(MODELS, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, phase_offset_s=float("nan"))
+        with pytest.raises(ValueError):
+            WorkloadGenerator(MODELS, phase_offset_s=float("inf"))
 
 
 class TestChurnGeneration:
